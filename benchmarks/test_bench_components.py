@@ -1,0 +1,75 @@
+"""Micro-benchmarks of the pipeline components (Sec. VI-D breakdown).
+
+These time the individual stages — functional emulation, cache
+simulation, the interval algorithm, k-means clustering and the
+analytical multi-warp model — the way the paper decomposes GPUMech's
+overhead (clustering is a one-time per-input cost; cache simulation and
+one interval profile recur per hardware configuration).
+"""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.core.interval import build_interval_profile
+from repro.core.latency import build_latency_table
+from repro.core.model import GPUMech
+from repro.core.representative import select_representative
+from repro.memory import simulate_caches
+from repro.trace import emulate
+from repro.workloads import Scale, get_kernel
+
+CONFIG = GPUConfig.small(n_cores=2, warps_per_core=16)
+KERNEL_NAME = "cfd_compute_flux"
+
+
+@pytest.fixture(scope="module")
+def kernel_and_memory():
+    return get_kernel(KERNEL_NAME, Scale.tiny())
+
+
+@pytest.fixture(scope="module")
+def trace(kernel_and_memory):
+    kernel, memory = kernel_and_memory
+    return emulate(kernel, CONFIG, memory=memory)
+
+
+@pytest.fixture(scope="module")
+def latency_table(trace):
+    return build_latency_table(trace, simulate_caches(trace, CONFIG), CONFIG)
+
+
+def test_bench_emulator(benchmark, kernel_and_memory):
+    kernel, memory = kernel_and_memory
+    result = benchmark(emulate, kernel, CONFIG, memory=memory)
+    benchmark.extra_info["dynamic_insts"] = result.total_insts
+
+
+def test_bench_cache_simulator(benchmark, trace):
+    result = benchmark(simulate_caches, trace, CONFIG)
+    benchmark.extra_info["pcs"] = len(result.per_pc)
+
+
+def test_bench_interval_algorithm(benchmark, trace, latency_table):
+    warp = trace.warps[0]
+
+    def profile_all():
+        return build_interval_profile(warp, latency_table)
+
+    profile = benchmark(profile_all)
+    benchmark.extra_info["intervals"] = profile.n_intervals
+
+
+def test_bench_clustering(benchmark, trace, latency_table):
+    profiles = [
+        build_interval_profile(w, latency_table) for w in trace.warps
+    ]
+    selection = benchmark(select_representative, profiles)
+    benchmark.extra_info["warps"] = len(profiles)
+    benchmark.extra_info["representative"] = selection.warp_id
+
+
+def test_bench_multiwarp_prediction(benchmark, trace):
+    model = GPUMech(CONFIG)
+    inputs = model.prepare(trace=trace)
+    prediction = benchmark(model.predict, inputs)
+    benchmark.extra_info["cpi"] = round(prediction.cpi, 3)

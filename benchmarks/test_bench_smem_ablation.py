@@ -1,0 +1,64 @@
+"""Ablation bench: shared-memory bank conflicts (extension).
+
+Compares the smem-tiled GEMM with a conflict-free scratchpad layout
+against the same kernel with a 32-way-conflicted layout (the classic
+unpadded-tile pathology): the oracle slows down and the model's
+bank-serialisation floor must track it.
+"""
+
+from benchmarks.conftest import run_once
+from repro.config import GPUConfig
+from repro.harness.reporting import render_table
+from repro.timing import TimingSimulator
+from repro.trace import emulate
+from repro.core.model import GPUMech
+from repro.workloads import Scale
+from repro.workloads.generators import matmul_smem_tiled
+
+STRIDES = (1, 2, 32)  # conflict degrees 1, 2, 32
+
+
+def sweep():
+    config = GPUConfig.small(n_cores=2, warps_per_core=16)
+    scale = Scale.tiny()
+    rows = []
+    data = {}
+    for stride in STRIDES:
+        kernel, memory = matmul_smem_tiled(
+            "gemm_smem_s%d" % stride, scale, conflict_stride_words=stride
+        )
+        trace = emulate(kernel, config, memory=memory)
+        oracle = TimingSimulator(config).run(trace)
+        model = GPUMech(config)
+        prediction = model.predict(model.prepare(trace=trace))
+        error = abs(prediction.cpi - oracle.cpi) / oracle.cpi
+        rows.append(
+            (stride, "%.3f" % oracle.cpi, "%.3f" % prediction.cpi,
+             "%.3f" % prediction.cpi_smem, "%.1f%%" % (100 * error))
+        )
+        data[stride] = {
+            "oracle": oracle.cpi,
+            "model": prediction.cpi,
+            "smem_cpi": prediction.cpi_smem,
+        }
+    text = render_table(
+        ("tile stride (words)", "oracle CPI", "model CPI", "SMEM CPI",
+         "error"),
+        rows,
+        title="Ablation: shared-memory bank conflicts (smem-tiled GEMM)",
+    )
+    return text, data
+
+
+def test_bench_smem_ablation(benchmark):
+    text, data = run_once(benchmark, sweep)
+    print("\n" + text)
+    # Conflicts slow the oracle monotonically...
+    assert data[32]["oracle"] > data[2]["oracle"] >= data[1]["oracle"] * 0.95
+    # ...and the model follows (through the conflict-inflated scratchpad
+    # latency; the bank-serialisation floor additionally binds on
+    # scratchpad-bound kernels).
+    assert data[32]["model"] > data[1]["model"]
+    # Tracking the heavily conflicted point within a generous bound.
+    error32 = abs(data[32]["model"] - data[32]["oracle"]) / data[32]["oracle"]
+    assert error32 < 0.5

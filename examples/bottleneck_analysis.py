@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Bottleneck analysis with CPI stacks — the paper's Sec. VII application.
+
+Reproduces the scaling study of Fig. 16 interactively: for each of the
+three case-study kernels, print the CPI stack at 8/16/32/48 warps per
+core, identify the dominant bottleneck at each point, and report the
+predicted performance-saturation point.
+
+Usage:
+    python examples/bottleneck_analysis.py
+"""
+
+from repro import GPUConfig, GPUMech, StallType
+from repro.core.cpi_stack import render_stacks
+from repro.harness.reporting import render_table
+from repro.trace import emulate
+from repro.workloads import Scale, get_kernel
+
+KERNELS = ("cfd_step_factor", "cfd_compute_flux", "kmeans_invert_mapping")
+WARP_COUNTS = (8, 16, 32, 48)
+
+
+def analyse(name: str, config: GPUConfig) -> None:
+    kernel, memory = get_kernel(name, Scale.small())
+    trace = emulate(kernel, config, memory=memory)
+    model = GPUMech(config)
+    inputs = model.prepare(trace=trace)
+
+    rows = []
+    throughputs = {}
+    stacks = {}
+    for warps in WARP_COUNTS:
+        prediction = model.predict(inputs, n_warps=warps)
+        stack = prediction.cpi_stack
+        stacks["%d warps" % warps] = stack
+        dominant = max(
+            (t for t in StallType), key=lambda t: stack[t]
+        )
+        throughputs[warps] = prediction.ipc  # core IPC = 1 / CPI
+        rows.append(
+            (warps,)
+            + tuple("%.3f" % stack[t] for t in StallType)
+            + ("%.3f" % prediction.cpi, dominant.value)
+        )
+    print(render_table(
+        ("warps",) + tuple(t.value for t in StallType) + ("CPI", "dominant"),
+        rows,
+        title="%s: CPI stack vs. warps/core" % name,
+    ))
+    print(render_stacks(stacks))
+    best = max(throughputs, key=throughputs.get)
+    print(
+        "-> core throughput saturates at %d warps/core "
+        "(IPC relative to 8 warps: %s)\n"
+        % (
+            best,
+            ", ".join(
+                "%d:%.2f" % (w, throughputs[w] / throughputs[WARP_COUNTS[0]])
+                for w in WARP_COUNTS
+            ),
+        )
+    )
+
+
+def main() -> None:
+    config = GPUConfig(n_cores=2)
+    for name in KERNELS:
+        analyse(name, config)
+    print(
+        "Reading the stacks: DEP-dominated kernels scale with more warps;\n"
+        "MSHR/QUEUE-dominated kernels have hit a memory-system wall that\n"
+        "more multithreading cannot climb (Sec. VII of the paper)."
+    )
+
+
+if __name__ == "__main__":
+    main()

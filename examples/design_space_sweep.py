@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Design-space exploration: sweep hardware parameters with GPUMech.
+
+This is the use case the paper argues interval analysis enables: the
+expensive per-kernel work (trace + per-warp profiling + clustering) runs
+once, then each hardware point costs only a cache simulation and the
+analytical model — orders of magnitude cheaper than re-running a
+cycle-level simulator per point.
+
+Sweeps warps/core, MSHR entries and DRAM bandwidth for one kernel and
+prints predicted CPI per point, flagging the best configuration.
+
+Usage:
+    python examples/design_space_sweep.py [kernel_name]
+"""
+
+import sys
+
+from repro import GPUConfig, GPUMech
+from repro.harness.reporting import render_table
+from repro.trace import emulate
+from repro.workloads import Scale, get_kernel
+
+
+def sweep_warps(config, inputs, model):
+    rows = []
+    for warps in (4, 8, 16, 24, 32, 48):
+        prediction = model.predict(inputs, n_warps=warps)
+        rows.append(
+            (warps, prediction.cpi,
+             prediction.cpi_multithreading, prediction.cpi_mshr,
+             prediction.cpi_queue,
+             "%.3f" % prediction.ipc)
+        )
+    print(render_table(
+        ("warps/core", "CPI", "MT", "MSHR", "QUEUE", "core IPC"),
+        rows, title="Sweep: resident warps per core"))
+    best = min(rows, key=lambda r: r[1])
+    print("-> core throughput saturates at %d warps/core "
+          "(CPI stops improving)\n" % best[0])
+
+
+def sweep_mshrs(config, trace, model_cls):
+    rows = []
+    for mshrs in (8, 16, 32, 64, 128):
+        cfg = config.with_(n_mshrs=mshrs)
+        model = model_cls(cfg)
+        inputs = model.prepare(trace=trace)
+        prediction = model.predict(inputs)
+        rows.append((mshrs, prediction.cpi, prediction.cpi_mshr))
+    print(render_table(("MSHRs", "CPI", "MSHR CPI"), rows,
+                       title="Sweep: MSHR entries"))
+    print()
+
+
+def sweep_bandwidth(config, trace, model_cls):
+    rows = []
+    for gbps in (48.0, 96.0, 192.0, 384.0, 768.0):
+        cfg = config.with_(dram_bandwidth_gbps=gbps)
+        model = model_cls(cfg)
+        inputs = model.prepare(trace=trace)
+        prediction = model.predict(inputs)
+        rows.append((gbps, prediction.cpi, prediction.cpi_queue))
+    print(render_table(("GB/s", "CPI", "QUEUE CPI"), rows,
+                       title="Sweep: DRAM bandwidth"))
+    print()
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "kmeans_invert_mapping"
+    config = GPUConfig(n_cores=2)
+    kernel, memory = get_kernel(name, Scale.small())
+    print(kernel.describe(), "\n")
+
+    # The trace is hardware-independent: emulate once, reuse everywhere.
+    trace = emulate(kernel, config, memory=memory)
+    model = GPUMech(config)
+    inputs = model.prepare(trace=trace)
+
+    sweep_warps(config, inputs, model)
+    sweep_mshrs(config, trace, GPUMech)
+    sweep_bandwidth(config, trace, GPUMech)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Quickstart: model one kernel with GPUMech and read its CPI stack.
+
+Runs the full pipeline on the paper's ``cfd_compute_flux`` case-study
+analogue: functional emulation -> cache simulation -> interval profiles
+-> representative-warp clustering -> multithreading + contention models,
+then validates the prediction against the cycle-level oracle.
+
+Usage:
+    python examples/quickstart.py [kernel_name]
+"""
+
+import sys
+
+from repro import GPUConfig, GPUMech
+from repro.timing import simulate_kernel
+from repro.trace import emulate
+from repro.workloads import Scale, get_kernel, kernel_names
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "cfd_compute_flux"
+    if name not in kernel_names():
+        raise SystemExit(
+            "unknown kernel %r; try one of: %s" % (name, ", ".join(kernel_names()))
+        )
+
+    # A small machine keeps the oracle fast; GPUConfig.paper_baseline()
+    # is the literal Table I machine.
+    config = GPUConfig(n_cores=2)
+    kernel, memory = get_kernel(name, Scale.small())
+    print(kernel.describe())
+
+    # --- GPUMech ---------------------------------------------------------
+    model = GPUMech(config)
+    trace = emulate(kernel, config, memory=memory)
+    print(trace.summary())
+    inputs = model.prepare(trace=trace)
+    prediction = model.predict(inputs)
+    print()
+    print("GPUMech prediction:")
+    print("  " + prediction.summary())
+    print()
+    print(prediction.cpi_stack.render())
+
+    # --- Validation against the cycle-level oracle -------------------------
+    oracle = simulate_kernel(trace, config)
+    error = abs(prediction.cpi - oracle.cpi) / oracle.cpi
+    print()
+    print("oracle (detailed timing simulation):")
+    print("  " + oracle.summary())
+    print()
+    print(
+        "predicted CPI %.3f vs oracle CPI %.3f -> %.1f%% relative error"
+        % (prediction.cpi, oracle.cpi, 100 * error)
+    )
+
+
+if __name__ == "__main__":
+    main()

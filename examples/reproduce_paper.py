@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Full paper reproduction: regenerate every evaluation figure.
+
+Runs the drivers for Fig. 4, 7, 11, 12, 13, 14, 15, 16 and the Sec. VI-D
+speedup measurement at experiment scale and writes each rendered table to
+``results/<figure>.txt`` (plus everything to stdout).
+
+This is the long-running entry point (tens of minutes at full scale);
+``pytest benchmarks/ --benchmark-only`` runs reduced versions of the same
+drivers in a few minutes.
+
+Usage:
+    python examples/reproduce_paper.py [--quick] [--out DIR]
+"""
+
+import argparse
+import os
+import time
+
+from repro.config import GPUConfig
+from repro.harness import experiments as ex
+from repro.harness.runner import Runner
+from repro.harness.speedup import run_speedup
+from repro.workloads import Scale
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="tiny workloads and the sweep-kernel subset (minutes, not tens)",
+    )
+    parser.add_argument("--out", default="results", help="output directory")
+    args = parser.parse_args()
+
+    scale = Scale.tiny() if args.quick else Scale.small()
+    config = GPUConfig(n_cores=2)
+    runner = Runner(config, scale)
+    os.makedirs(args.out, exist_ok=True)
+
+    comparison_kernels = (
+        list(ex.SWEEP_KERNELS) if args.quick else None  # None = full suite
+    )
+    sweep_warps = (4, 8, 16) if args.quick else ex.WARP_SWEEP
+
+    jobs = [
+        ("figure04", lambda: ex.run_figure4(runner)),
+        ("figure07", lambda: ex.run_figure7(runner)),
+        ("figure11", lambda: ex.run_figure11(runner, comparison_kernels)),
+        ("figure12", lambda: ex.run_figure12(runner, comparison_kernels)),
+        ("figure13", lambda: ex.run_figure13(runner, warp_counts=sweep_warps)),
+        ("figure14", lambda: ex.run_figure14(runner)),
+        ("figure15", lambda: ex.run_figure15(runner)),
+        ("figure16", lambda: ex.run_figure16(runner, warp_counts=sweep_warps)),
+        ("speedup", lambda: run_speedup(
+            runner, kernels=list(ex.SWEEP_KERNELS))),
+    ]
+    from repro.harness.export import save_comparison_csv, save_series_csv
+
+    for name, job in jobs:
+        start = time.time()
+        result = job()
+        elapsed = time.time() - start
+        path = os.path.join(args.out, "%s.txt" % name)
+        with open(path, "w") as handle:
+            handle.write(result.text + "\n")
+        per_kernel = result.data.get("results")
+        if (
+            isinstance(per_kernel, list)
+            and per_kernel
+            and hasattr(per_kernel[0], "model_cpis")
+        ):
+            save_comparison_csv(
+                result, os.path.join(args.out, "%s.csv" % name)
+            )
+        elif "series" in result.data:
+            save_series_csv(result, os.path.join(args.out, "%s.csv" % name))
+        print(result.text)
+        print("[%s done in %.1fs -> %s]\n" % (name, elapsed, path))
+
+
+if __name__ == "__main__":
+    main()

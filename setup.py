@@ -1,0 +1,7 @@
+"""Setup shim: enables legacy editable installs in offline environments
+where the `wheel` package is unavailable (PEP 517 editable builds require
+bdist_wheel).  Configuration lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,33 @@
+"""GPUMech reproduction: interval-analysis GPU performance modeling.
+
+Reproduces Huang, Lee, Kim & Lee, *GPUMech: GPU Performance Modeling
+Technique based on Interval Analysis*, MICRO 2014 — model, baselines,
+input collector, cycle-level validation oracle, workload suite and the
+paper's full experiment harness.
+
+Quickstart
+----------
+>>> from repro import GPUConfig, GPUMech
+>>> from repro.workloads import get_kernel
+>>> kernel, memory = get_kernel("cfd_step_factor")
+>>> model = GPUMech(GPUConfig.small())
+>>> prediction = model.predict_kernel(kernel, memory=memory)
+>>> print(prediction.summary())          # doctest: +SKIP
+>>> print(prediction.cpi_stack.render()) # doctest: +SKIP
+"""
+
+from repro.config import GPUConfig
+from repro.core.model import GPUMech, ModelInputs, Prediction
+from repro.core.cpi_stack import CPIStack, StallType
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CPIStack",
+    "GPUConfig",
+    "GPUMech",
+    "ModelInputs",
+    "Prediction",
+    "StallType",
+    "__version__",
+]

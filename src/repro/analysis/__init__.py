@@ -1,0 +1,22 @@
+"""Workload analysis: kernel characterization from traces.
+
+Quantifies the behavioural axes GPUMech's accuracy depends on — memory
+divergence degree, control divergence, instruction mix, footprint,
+inter-warp heterogeneity — directly from functional traces.  Used by the
+``characterize`` CLI command and by EXPERIMENTS.md to document what each
+synthetic kernel actually exercises.
+"""
+
+from repro.analysis.characterize import (
+    KernelCharacterization,
+    characterize,
+    render_characterization,
+    suite_report,
+)
+
+__all__ = [
+    "KernelCharacterization",
+    "characterize",
+    "render_characterization",
+    "suite_report",
+]

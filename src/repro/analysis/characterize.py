@@ -1,0 +1,209 @@
+"""Kernel characterization: behavioural metrics from a functional trace.
+
+Every metric is hardware-independent (computed from the trace alone), so
+characterization describes the *workload*, not the machine:
+
+* instruction mix (IALU / FALU / SFU / LOAD / STORE / BRANCH fractions),
+* memory divergence (requests per memory instruction: mean, max and a
+  full histogram over degrees),
+* control divergence (fraction of dynamic instructions executed under a
+  partial mask; mean active lanes),
+* inter-warp heterogeneity (coefficient of variation of warp trace
+  lengths — the Fig. 7 signal),
+* memory footprint (distinct cache lines touched) and traffic intensity
+  (bytes of line traffic per instruction).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.trace.trace_types import KernelTrace, OpCode
+
+
+@dataclass
+class KernelCharacterization:
+    """Behavioural summary of one kernel launch."""
+
+    kernel_name: str
+    n_warps: int
+    n_blocks: int
+    total_insts: int
+    insts_per_warp_mean: float
+    insts_per_warp_cv: float  # inter-warp heterogeneity
+    mix: Dict[str, float] = field(default_factory=dict)
+    loads_per_inst: float = 0.0
+    stores_per_inst: float = 0.0
+    mean_divergence: float = 0.0
+    max_divergence: int = 0
+    divergence_histogram: Dict[int, int] = field(default_factory=dict)
+    masked_inst_fraction: float = 0.0
+    mean_active_lanes: float = 0.0
+    footprint_lines: int = 0
+    line_bytes_per_inst: float = 0.0
+    write_request_fraction: float = 0.0
+
+    @property
+    def is_memory_divergent(self) -> bool:
+        """More than one coalesced request per memory instruction."""
+        return self.mean_divergence > 1.5
+
+    @property
+    def is_control_divergent(self) -> bool:
+        """A meaningful share of instructions run under partial masks."""
+        return self.masked_inst_fraction > 0.02 or self.insts_per_warp_cv > 0.05
+
+    @property
+    def is_write_heavy(self) -> bool:
+        """Whether store traffic dominates the request mix."""
+        return self.write_request_fraction > 0.5
+
+
+def characterize(trace: KernelTrace) -> KernelCharacterization:
+    """Compute all metrics for one trace."""
+    total = trace.total_insts
+    op_counts: Dict[int, int] = {int(op): 0 for op in OpCode}
+    mem_insts = 0
+    load_insts = 0
+    store_insts = 0
+    total_reqs = 0
+    write_reqs = 0
+    divergence_hist: Dict[int, int] = {}
+    max_divergence = 0
+    masked = 0
+    active_sum = 0
+    lines = set()
+    lengths: List[int] = []
+
+    for warp in trace.warps:
+        lengths.append(len(warp))
+        ops = warp.ops
+        for op in OpCode:
+            op_counts[int(op)] += int((ops == op).sum())
+        reqs = warp.requests_per_inst
+        is_mem = warp.is_memory
+        mem_insts += int(is_mem.sum())
+        load_insts += int(warp.is_load.sum())
+        store_insts += int(warp.is_store.sum())
+        total_reqs += int(reqs.sum())
+        write_reqs += int(reqs[warp.is_store].sum())
+        for degree in reqs[is_mem].tolist():
+            divergence_hist[degree] = divergence_hist.get(degree, 0) + 1
+            if degree > max_divergence:
+                max_divergence = degree
+        full = warp.active.max() if len(warp) else 0
+        masked += int((np.asarray(warp.active) < full).sum())
+        active_sum += int(np.asarray(warp.active, dtype=np.int64).sum())
+        lines.update(warp.req_lines.tolist())
+
+    mean_len = statistics.fmean(lengths) if lengths else 0.0
+    cv = (
+        statistics.pstdev(lengths) / mean_len
+        if len(lengths) > 1 and mean_len
+        else 0.0
+    )
+    mix = {
+        OpCode(code).name: count / total if total else 0.0
+        for code, count in op_counts.items()
+    }
+    return KernelCharacterization(
+        kernel_name=trace.kernel_name,
+        n_warps=trace.n_warps,
+        n_blocks=trace.n_blocks,
+        total_insts=total,
+        insts_per_warp_mean=mean_len,
+        insts_per_warp_cv=cv,
+        mix=mix,
+        loads_per_inst=load_insts / total if total else 0.0,
+        stores_per_inst=store_insts / total if total else 0.0,
+        mean_divergence=total_reqs / mem_insts if mem_insts else 0.0,
+        max_divergence=max_divergence,
+        divergence_histogram=dict(sorted(divergence_hist.items())),
+        masked_inst_fraction=masked / total if total else 0.0,
+        mean_active_lanes=active_sum / total if total else 0.0,
+        footprint_lines=len(lines),
+        line_bytes_per_inst=(
+            total_reqs * trace.line_size / total if total else 0.0
+        ),
+        write_request_fraction=(
+            write_reqs / total_reqs if total_reqs else 0.0
+        ),
+    )
+
+
+def render_characterization(char: KernelCharacterization) -> str:
+    """Multi-line human-readable report."""
+    lines = [
+        "kernel %s: %d warps in %d blocks, %d dynamic instructions"
+        % (char.kernel_name, char.n_warps, char.n_blocks, char.total_insts),
+        "  instructions/warp: mean %.1f, inter-warp CV %.2f"
+        % (char.insts_per_warp_mean, char.insts_per_warp_cv),
+        "  mix: "
+        + ", ".join(
+            "%s %.0f%%" % (name, 100 * frac)
+            for name, frac in char.mix.items()
+            if frac >= 0.005
+        ),
+        "  memory: %.2f loads/inst, %.2f stores/inst, %.0fB line traffic/inst"
+        % (char.loads_per_inst, char.stores_per_inst,
+           char.line_bytes_per_inst),
+        "  divergence: mean %.1f, max %d requests/mem-inst"
+        % (char.mean_divergence, char.max_divergence),
+        "  control: %.0f%% of instructions under a partial mask "
+        "(mean %.1f active lanes)"
+        % (100 * char.masked_inst_fraction, char.mean_active_lanes),
+        "  footprint: %d distinct cache lines; %.0f%% of requests are writes"
+        % (char.footprint_lines, 100 * char.write_request_fraction),
+        "  classes: %s"
+        % ", ".join(
+            label
+            for label, flag in [
+                ("memory-divergent", char.is_memory_divergent),
+                ("control-divergent", char.is_control_divergent),
+                ("write-heavy", char.is_write_heavy),
+            ]
+            if flag
+        )
+        or "  classes: regular",
+    ]
+    return "\n".join(lines)
+
+
+def suite_report(
+    scale=None, kernels: Optional[List[str]] = None, config=None
+) -> str:
+    """Characterize (a subset of) the workload suite as a table."""
+    from repro.config import GPUConfig
+    from repro.harness.reporting import render_table
+    from repro.trace.emulator import emulate
+    from repro.workloads.generators import Scale
+    from repro.workloads.suite import SUITE, kernel_names
+
+    config = config if config is not None else GPUConfig()
+    scale = scale if scale is not None else Scale.tiny()
+    names = kernels if kernels is not None else kernel_names()
+    rows = []
+    for name in names:
+        kernel, memory = SUITE[name].build(scale)
+        char = characterize(emulate(kernel, config, memory=memory))
+        rows.append(
+            (
+                name,
+                char.total_insts,
+                "%.2f" % char.insts_per_warp_cv,
+                "%.1f" % char.mean_divergence,
+                char.max_divergence,
+                "%.0f%%" % (100 * char.masked_inst_fraction),
+                "%.0f%%" % (100 * char.write_request_fraction),
+            )
+        )
+    return render_table(
+        ("kernel", "insts", "warp CV", "mean div", "max div", "masked",
+         "writes"),
+        rows,
+        title="workload characterization (%d kernels)" % len(rows),
+    )

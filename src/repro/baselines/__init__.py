@@ -1,0 +1,6 @@
+"""Baseline models evaluated against GPUMech (Table II of the paper)."""
+
+from repro.baselines.naive import naive_interval_cpi
+from repro.baselines.markov import markov_chain_cpi
+
+__all__ = ["markov_chain_cpi", "naive_interval_cpi"]

@@ -1,0 +1,36 @@
+"""Naive_Interval baseline (Eq. 1, Sec. II-B).
+
+The naive extension of CPU interval analysis to a multithreaded core:
+assume every instruction of every remaining warp hides inside the
+representative warp's stall cycles, so
+
+    IPC_core = IPC_single_warp * n_warps.
+
+It ignores non-overlapped instructions and all resource contention, so it
+is systematically optimistic — the paper's motivating strawman.
+"""
+
+from __future__ import annotations
+
+from repro.core.interval import IntervalProfile
+
+
+def naive_interval_cpi(
+    profile: IntervalProfile,
+    n_warps: int,
+    cap_at_issue_rate: bool = True,
+) -> float:
+    """Eq. 1, returned as CPI per core-instruction.
+
+    ``cap_at_issue_rate`` bounds the predicted IPC at the core's issue
+    bandwidth (a core cannot retire more than ``issue_rate``
+    instructions/cycle); disable it for the literal uncapped Eq. 1.
+    """
+    if n_warps < 1:
+        raise ValueError("n_warps must be >= 1")
+    if not profile.n_insts:
+        return 0.0
+    cpi = profile.total_cycles / (n_warps * profile.n_insts)
+    if cap_at_issue_rate:
+        cpi = max(cpi, 1.0 / profile.issue_rate)
+    return cpi

@@ -1,0 +1,211 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands
+-----------
+``list``
+    List the workload suite (name, origin suite, tags, description).
+``predict``
+    Run GPUMech on a kernel and print the prediction + CPI stack.
+``simulate``
+    Run the cycle-level oracle on a kernel.
+``validate``
+    Run both and report the relative error of every Table II model.
+``experiment``
+    Regenerate one of the paper's figures (figure4 ... figure16, speedup).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.config import GPUConfig
+from repro.core.model import GPUMech
+from repro.harness import experiments as ex
+from repro.harness.reporting import render_table
+from repro.harness.runner import MODEL_LABELS, MODELS, Runner
+from repro.harness.speedup import run_speedup
+from repro.timing.simulator import simulate_kernel
+from repro.trace.emulator import emulate
+from repro.workloads.generators import Scale
+from repro.workloads.suite import SUITE, get_kernel, kernel_names
+
+_SCALES = {
+    "tiny": Scale.tiny,
+    "small": Scale.small,
+    "large": Scale.large,
+}
+
+_EXPERIMENTS = {
+    "figure4": lambda runner: ex.run_figure4(runner),
+    "figure7": lambda runner: ex.run_figure7(runner),
+    "figure11": lambda runner: ex.run_figure11(runner),
+    "figure12": lambda runner: ex.run_figure12(runner),
+    "figure13": lambda runner: ex.run_figure13(runner),
+    "figure14": lambda runner: ex.run_figure14(runner),
+    "figure15": lambda runner: ex.run_figure15(runner),
+    "figure16": lambda runner: ex.run_figure16(runner),
+    "speedup": lambda runner: run_speedup(runner),
+}
+
+
+def _add_machine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cores", type=int, default=2,
+                        help="number of cores (paper: 16)")
+    parser.add_argument("--warps", type=int, default=None,
+                        help="resident warps per core (default: 32)")
+    parser.add_argument("--mshrs", type=int, default=32,
+                        help="MSHR entries per core")
+    parser.add_argument("--bandwidth", type=float, default=192.0,
+                        help="DRAM bandwidth in GB/s")
+    parser.add_argument("--scheduler", choices=("rr", "gto"), default="rr")
+    parser.add_argument("--scale", choices=sorted(_SCALES), default="small",
+                        help="workload scale preset")
+
+
+def _machine(args) -> GPUConfig:
+    return GPUConfig(
+        n_cores=args.cores,
+        n_mshrs=args.mshrs,
+        dram_bandwidth_gbps=args.bandwidth,
+        scheduler=args.scheduler,
+    )
+
+
+def _cmd_list(args) -> int:
+    rows = []
+    for name in kernel_names():
+        spec = SUITE[name]
+        rows.append(
+            (name, spec.suite, ",".join(sorted(spec.tags)) or "-",
+             spec.description)
+        )
+    print(render_table(("kernel", "suite", "tags", "description"), rows,
+                       title="workload suite (%d kernels)" % len(rows)))
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    config = _machine(args)
+    kernel, memory = get_kernel(args.kernel, _SCALES[args.scale]())
+    print(kernel.describe())
+    model = GPUMech(config, selection_strategy=args.strategy)
+    trace = emulate(kernel, config, memory=memory)
+    inputs = model.prepare(trace=trace)
+    prediction = model.predict(inputs, warps_per_core=args.warps)
+    print(prediction.summary())
+    print(prediction.cpi_stack.render())
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    config = _machine(args)
+    kernel, memory = get_kernel(args.kernel, _SCALES[args.scale]())
+    trace = emulate(kernel, config, memory=memory)
+    stats = simulate_kernel(trace, config, warps_per_core=args.warps)
+    print(stats.summary())
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    config = _machine(args)
+    runner = Runner(config, _SCALES[args.scale]())
+    result = runner.evaluate(args.kernel, warps_per_core=args.warps)
+    rows = [
+        (MODEL_LABELS[m], "%.3f" % result.model_cpis[m],
+         "%.1f%%" % (100 * result.error(m)))
+        for m in MODELS
+    ]
+    rows.append(("oracle", "%.3f" % result.oracle_cpi, "-"))
+    print(render_table(("model", "CPI", "error"), rows,
+                       title="%s [%s, %d warps/core]"
+                       % (result.kernel, result.policy, result.n_warps)))
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    config = _machine(args)
+    runner = Runner(config, _SCALES[args.scale]())
+    result = _EXPERIMENTS[args.name](runner)
+    print(result.text)
+    return 0
+
+
+def _cmd_characterize(args) -> int:
+    from repro.analysis import (
+        characterize,
+        render_characterization,
+        suite_report,
+    )
+
+    config = _machine(args)
+    scale = _SCALES[args.scale]()
+    if args.kernel == "all":
+        print(suite_report(scale=scale, config=config))
+        return 0
+    kernel, memory = get_kernel(args.kernel, scale)
+    trace = emulate(kernel, config, memory=memory)
+    print(render_characterization(characterize(trace)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GPUMech: interval-analysis GPU performance modeling "
+        "(MICRO 2014 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the workload suite")
+
+    predict = sub.add_parser("predict", help="run GPUMech on a kernel")
+    predict.add_argument("kernel")
+    predict.add_argument("--strategy", default="clustering",
+                         choices=("clustering", "max", "min", "first"))
+    _add_machine_args(predict)
+
+    simulate = sub.add_parser("simulate", help="run the timing oracle")
+    simulate.add_argument("kernel")
+    _add_machine_args(simulate)
+
+    validate = sub.add_parser(
+        "validate", help="compare every model against the oracle"
+    )
+    validate.add_argument("kernel")
+    _add_machine_args(validate)
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate one of the paper's figures"
+    )
+    experiment.add_argument("name", choices=sorted(_EXPERIMENTS))
+    _add_machine_args(experiment)
+
+    characterize = sub.add_parser(
+        "characterize",
+        help="behavioural metrics of a kernel ('all' for the whole suite)",
+    )
+    characterize.add_argument("kernel")
+    _add_machine_args(characterize)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "predict": _cmd_predict,
+        "simulate": _cmd_simulate,
+        "validate": _cmd_validate,
+        "experiment": _cmd_experiment,
+        "characterize": _cmd_characterize,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,215 @@
+"""Machine configuration for GPUMech and the timing oracle.
+
+This module encodes Table I of the paper (the simulated machine) as a
+validated dataclass.  The same :class:`GPUConfig` instance drives
+
+* the functional cache simulator (``repro.memory.cache_simulator``),
+* the detailed timing simulator (``repro.timing``), and
+* the GPUMech analytical model (``repro.core``),
+
+so that model and oracle always describe the same machine.
+
+All latencies are in core cycles at ``core_clock_ghz``.  The DRAM service
+time of one cache line on the bus is ``line_size / dram_bandwidth`` seconds,
+i.e. ``core_clock_ghz * line_size_bytes / dram_bandwidth_gbps`` cycles
+(Eq. 22 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+
+class ConfigError(ValueError):
+    """Raised when a :class:`GPUConfig` fails validation."""
+
+
+#: Instruction latencies (cycles) per operation class, following Table I
+#: ("instruction latencies are modeled according to the CUDA manual (normal
+#: FP instructions are 25 cycles)").  Integer ALU operations are cheaper;
+#: SFU transcendentals are more expensive.
+DEFAULT_OP_LATENCIES: Dict[str, int] = {
+    "ialu": 4,
+    "falu": 25,
+    "sfu": 40,
+}
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """Parameters of the modeled GPU (Table I of the paper).
+
+    The defaults reproduce the paper's baseline configuration except for
+    ``n_cores``: the paper simulates 16 homogeneous cores, which is
+    prohibitively slow for a pure-Python cycle-level oracle, so the library
+    default is 4 cores (see DESIGN.md, substitution 4).  Use
+    :meth:`paper_baseline` for the literal Table I machine.
+    """
+
+    # Core organisation ----------------------------------------------------
+    n_cores: int = 4
+    core_clock_ghz: float = 1.0
+    simt_width: int = 32
+    warp_size: int = 32
+    max_threads_per_core: int = 1024
+    issue_width: int = 1  # warp-instructions per cycle
+
+    # Scheduling -----------------------------------------------------------
+    scheduler: str = "rr"  # "rr" (round-robin) or "gto" (greedy-then-oldest)
+
+    # On-chip memory -------------------------------------------------------
+    line_size: int = 128  # bytes
+    l1_size: int = 32 * 1024
+    l1_assoc: int = 8
+    l1_latency: int = 25
+    l2_size: int = 768 * 1024
+    l2_assoc: int = 8
+    l2_latency: int = 120  # includes NoC latency, per the paper
+    n_mshrs: int = 32  # per-core MSHR entries
+
+    # DRAM -----------------------------------------------------------------
+    dram_latency: int = 300  # access latency without queuing
+    dram_bandwidth_gbps: float = 192.0
+    #: Memory channels the aggregate bandwidth is interleaved over
+    #: (extension; the paper models a single queue, the default).
+    n_dram_channels: int = 1
+
+    # Software-managed (shared) memory ---------------------------------------
+    #: Scratchpad size per core (Table I: "16 KB software managed cache").
+    smem_size: int = 16 * 1024
+    #: Scratchpad access latency in cycles (conflict-free).
+    smem_latency: int = 30
+    #: Scratchpad banks; lanes hitting the same bank (different words)
+    #: serialise into that many accesses.
+    smem_banks: int = 32
+
+    # Special function units ------------------------------------------------
+    #: SFU lanes per core.  The paper assumes a balanced design where
+    #: "the resources used for normal operations are sufficient for each
+    #: warp" and leaves SFU contention as future work (Sec. IV-B1); the
+    #: default (= warp_size) reproduces that assumption.  Setting fewer
+    #: lanes makes an SFU warp-instruction occupy the unit for
+    #: ``warp_size / n_sfu_units`` cycles, creating the structural hazard
+    #: that the extension model in ``core.contention`` predicts.
+    n_sfu_units: int = 32
+
+    # Instruction latencies ------------------------------------------------
+    op_latencies: Dict[str, int] = field(
+        default_factory=lambda: dict(DEFAULT_OP_LATENCIES)
+    )
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 1:
+            raise ConfigError("n_cores must be >= 1")
+        if self.warp_size < 1:
+            raise ConfigError("warp_size must be >= 1")
+        if self.simt_width != self.warp_size:
+            raise ConfigError(
+                "this model assumes simt_width == warp_size (a warp issues "
+                "in one cycle); got simt_width=%d warp_size=%d"
+                % (self.simt_width, self.warp_size)
+            )
+        if self.max_threads_per_core % self.warp_size != 0:
+            raise ConfigError("max_threads_per_core must be a multiple of warp_size")
+        if self.scheduler not in ("rr", "gto"):
+            raise ConfigError("scheduler must be 'rr' or 'gto'")
+        if self.issue_width != 1:
+            raise ConfigError("only issue_width == 1 is supported (Table I)")
+        for cache_name, (size, assoc) in {
+            "l1": (self.l1_size, self.l1_assoc),
+            "l2": (self.l2_size, self.l2_assoc),
+        }.items():
+            if size % (self.line_size * assoc) != 0:
+                raise ConfigError(
+                    "%s cache size %d is not divisible by line_size*assoc"
+                    % (cache_name, size)
+                )
+        if self.n_mshrs < 1:
+            raise ConfigError("n_mshrs must be >= 1")
+        if self.dram_bandwidth_gbps <= 0:
+            raise ConfigError("dram_bandwidth_gbps must be positive")
+        if self.core_clock_ghz <= 0:
+            raise ConfigError("core_clock_ghz must be positive")
+        missing = {"ialu", "falu", "sfu"} - set(self.op_latencies)
+        if missing:
+            raise ConfigError("op_latencies missing classes: %s" % sorted(missing))
+        if not (1 <= self.n_sfu_units <= self.warp_size):
+            raise ConfigError(
+                "n_sfu_units must be in [1, warp_size]; got %d"
+                % self.n_sfu_units
+            )
+        if self.n_dram_channels < 1:
+            raise ConfigError("n_dram_channels must be >= 1")
+        if self.smem_size < 0 or self.smem_latency < 1:
+            raise ConfigError("invalid shared-memory parameters")
+        if self.smem_banks < 1:
+            raise ConfigError("smem_banks must be >= 1")
+
+    # Derived quantities ---------------------------------------------------
+
+    @property
+    def max_warps_per_core(self) -> int:
+        """Maximum resident warps on one core (Table I: 1024/32 = 32)."""
+        return self.max_threads_per_core // self.warp_size
+
+    @property
+    def issue_rate(self) -> float:
+        """Sustained issue rate in warp-instructions per cycle."""
+        return float(self.issue_width)
+
+    @property
+    def dram_service_cycles(self) -> float:
+        """Core cycles to transmit one cache line on the DRAM bus (Eq. 22).
+
+        ``s = freq_core * L / B`` with L in bytes and B in bytes/second.
+        """
+        bandwidth_bytes_per_ns = self.dram_bandwidth_gbps  # GB/s == bytes/ns
+        cycles_per_ns = self.core_clock_ghz
+        return cycles_per_ns * self.line_size / bandwidth_bytes_per_ns
+
+    @property
+    def sfu_service_cycles(self) -> float:
+        """Issue slots an SFU warp-instruction occupies on the SFU pipe."""
+        return self.warp_size / self.n_sfu_units
+
+    @property
+    def l2_miss_latency(self) -> int:
+        """Total latency of an access that misses in both caches."""
+        return self.l2_latency + self.dram_latency
+
+    def miss_event_latency(self, event: str) -> int:
+        """Latency (cycles) of a memory access classified by miss event.
+
+        ``event`` is one of ``"l1_hit"``, ``"l2_hit"``, ``"l2_miss"``.
+        Latencies are end-to-end: an L2 hit costs the full L2 access
+        latency (which subsumes the NoC), an L2 miss additionally pays the
+        DRAM access latency.
+        """
+        if event == "l1_hit":
+            return self.l1_latency
+        if event == "l2_hit":
+            return self.l2_latency
+        if event == "l2_miss":
+            return self.l2_miss_latency
+        raise ConfigError("unknown miss event %r" % (event,))
+
+    def with_(self, **overrides) -> "GPUConfig":
+        """Return a copy with the given fields replaced (sweep helper)."""
+        return replace(self, **overrides)
+
+    # Presets ----------------------------------------------------------------
+
+    @classmethod
+    def paper_baseline(cls) -> "GPUConfig":
+        """The literal Table I machine: 16 cores, 32 warps/core, 32 MSHRs,
+        192 GB/s DRAM."""
+        return cls(n_cores=16)
+
+    @classmethod
+    def small(cls, n_cores: int = 2, warps_per_core: int = 16) -> "GPUConfig":
+        """A scaled-down machine for fast tests and examples."""
+        return cls(
+            n_cores=n_cores,
+            max_threads_per_core=warps_per_core * 32,
+        )

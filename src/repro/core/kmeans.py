@@ -1,0 +1,84 @@
+"""Minimal deterministic k-means (Lloyd's algorithm).
+
+GPUMech only needs k=2 over two-dimensional, pre-normalised feature
+vectors (Sec. III-C), but the implementation is a general, dependency-free
+k-means with deterministic farthest-point ("maximin") initialisation so
+that representative-warp selection is reproducible run to run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class KMeansResult:
+    """Clustering outcome."""
+
+    centers: np.ndarray  # (k, d)
+    labels: np.ndarray  # (n,)
+    inertia: float
+    n_iterations: int
+
+    def cluster_sizes(self) -> np.ndarray:
+        """Member count of each cluster."""
+        return np.bincount(self.labels, minlength=len(self.centers))
+
+    @property
+    def largest_cluster(self) -> int:
+        """Index of the most populous cluster."""
+        return int(np.argmax(self.cluster_sizes()))
+
+
+def kmeans(points: np.ndarray, k: int, max_iterations: int = 100) -> KMeansResult:
+    """Cluster ``points`` (n, d) into ``k`` clusters.
+
+    Initialisation is deterministic maximin: the first centre is the point
+    closest to the global mean; each subsequent centre is the point
+    farthest from all chosen centres.  Degenerate inputs (fewer distinct
+    points than k) are handled by duplicating centres, which simply yields
+    empty clusters.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError("points must be a 2-D array (n, d)")
+    n = len(points)
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if n == 0:
+        raise ValueError("cannot cluster zero points")
+
+    centers = _maximin_init(points, k)
+    labels = np.zeros(n, dtype=np.int64)
+    for iteration in range(1, max_iterations + 1):
+        distances = _sq_distances(points, centers)
+        new_labels = np.argmin(distances, axis=1)
+        for c in range(k):
+            members = points[new_labels == c]
+            if len(members):
+                centers[c] = members.mean(axis=0)
+        if np.array_equal(new_labels, labels) and iteration > 1:
+            break
+        labels = new_labels
+    inertia = float(_sq_distances(points, centers)[np.arange(n), labels].sum())
+    return KMeansResult(
+        centers=centers, labels=labels, inertia=inertia, n_iterations=iteration
+    )
+
+
+def _maximin_init(points: np.ndarray, k: int) -> np.ndarray:
+    mean = points.mean(axis=0)
+    first = int(np.argmin(((points - mean) ** 2).sum(axis=1)))
+    chosen = [points[first]]
+    for _ in range(1, k):
+        d = _sq_distances(points, np.asarray(chosen)).min(axis=1)
+        chosen.append(points[int(np.argmax(d))])
+    return np.asarray(chosen, dtype=np.float64)
+
+
+def _sq_distances(points: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """(n, k) squared Euclidean distances."""
+    diff = points[:, None, :] - centers[None, :, :]
+    return (diff ** 2).sum(axis=2)

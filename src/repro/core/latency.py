@@ -1,0 +1,102 @@
+"""Per-PC instruction latencies (Sec. V-B of the paper).
+
+Compute PCs have fixed latencies from the machine configuration; memory
+PCs get the *average memory access time* of their miss-event distribution
+as collected by the functional cache simulator.  (The paper's example: a
+PC with 90% L2 hits at 120 cycles and 10% L2 misses at 420 cycles gets a
+latency of 150 cycles.)
+
+Stores are priced at one cycle: nothing ever depends on a store, so their
+latency never appears on a dependence edge — consistent with both the
+timing oracle and the paper's treatment of stores as off-critical-path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.config import GPUConfig
+from repro.memory.cache_simulator import CacheSimResult, PCStats
+from repro.trace.trace_types import KernelTrace, OpCode
+
+
+class LatencyTable:
+    """Latency (cycles) and miss statistics per static instruction."""
+
+    def __init__(
+        self,
+        latencies: np.ndarray,
+        pc_stats: Dict[int, PCStats],
+        config: GPUConfig,
+    ):
+        self._latencies = latencies
+        self.pc_stats = pc_stats
+        self.config = config
+
+    def latency(self, pc: int) -> float:
+        """Latency (cycles) of the static instruction at ``pc``."""
+        return float(self._latencies[pc])
+
+    @property
+    def as_array(self) -> np.ndarray:
+        """Vector of latencies indexed by PC (for vectorised lookups)."""
+        return self._latencies
+
+    def stats_for(self, pc: int) -> Optional[PCStats]:
+        """Cache statistics of a memory PC (None for compute PCs)."""
+        return self.pc_stats.get(pc)
+
+
+def build_latency_table(
+    trace: KernelTrace,
+    cache_result: CacheSimResult,
+    config: GPUConfig,
+) -> LatencyTable:
+    """Assign a latency to every static PC observed in the trace."""
+    max_pc = max(int(w.pcs.max()) for w in trace.warps if len(w))
+    latencies = np.ones(max_pc + 1, dtype=np.float64)
+    seen = np.zeros(max_pc + 1, dtype=bool)
+    # Shared-memory loads are priced by their mean bank-conflict degree:
+    # latency + (degree - 1) serialised replays.
+    conflict_sum = np.zeros(max_pc + 1, dtype=np.float64)
+    conflict_count = np.zeros(max_pc + 1, dtype=np.int64)
+    for warp in trace.warps:
+        smem = warp.is_shared_memory
+        if smem.any():
+            np.add.at(conflict_sum, warp.pcs[smem], warp.conflict[smem])
+            np.add.at(conflict_count, warp.pcs[smem], 1)
+        fresh = ~seen[warp.pcs]
+        if not fresh.any():
+            continue
+        for pc, op in zip(warp.pcs[fresh].tolist(), warp.ops[fresh].tolist()):
+            latencies[pc] = _latency_of(pc, OpCode(op), cache_result, config)
+            seen[pc] = True
+    smem_pcs = np.flatnonzero(conflict_count)
+    for pc in smem_pcs.tolist():
+        mean_degree = conflict_sum[pc] / conflict_count[pc]
+        latencies[pc] += max(mean_degree - 1.0, 0.0)
+    return LatencyTable(latencies, cache_result.per_pc, config)
+
+
+def _latency_of(
+    pc: int, op: OpCode, cache_result: CacheSimResult, config: GPUConfig
+) -> float:
+    if op == OpCode.LOAD:
+        stats = cache_result.per_pc.get(pc)
+        if stats is None:  # load never replayed (defensive)
+            return float(config.l1_latency)
+        return stats.amat(config)
+    if op in (OpCode.STORE, OpCode.SMEM_STORE):
+        return 1.0
+    if op == OpCode.SMEM_LOAD:
+        # Base scratchpad latency; the conflict replays are added from
+        # the trace's per-PC mean degree by build_latency_table.
+        return float(config.smem_latency)
+    if op in (OpCode.BRANCH, OpCode.EXIT, OpCode.BARRIER):
+        # Barriers are invisible to the model (Sec. V-B: within-block
+        # synchronisation overhead is typically low); they cost their
+        # issue slot only.
+        return 1.0
+    return float(config.op_latencies[op.latency_class])

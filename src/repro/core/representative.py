@@ -1,0 +1,89 @@
+"""Representative-warp selection (Sec. III-C of the paper).
+
+Control-divergent kernels produce warps with very different interval
+profiles; feeding a random warp to the multi-warp model can badly skew
+the prediction.  GPUMech clusters all warps with k-means (k=2: a majority
+cluster and an outlier cluster) over the feature vector of Eq. 6 —
+
+    [ warp_perf / avg_warp_perf,  n_insts / avg_n_insts ]
+
+— and picks the warp closest to the centre of the *largest* cluster.
+
+The MAX and MIN strategies of Fig. 7 (pick the warp with the highest or
+lowest single-warp IPC) are provided for the comparison experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.interval import IntervalProfile
+from repro.core.kmeans import KMeansResult, kmeans
+
+
+@dataclass
+class RepresentativeSelection:
+    """Outcome of representative-warp selection."""
+
+    index: int  # index into the profile list
+    profile: IntervalProfile
+    strategy: str
+    features: np.ndarray  # (n_warps, 2) normalised feature vectors
+    clustering: KMeansResult = None
+
+    @property
+    def warp_id(self) -> int:
+        """Launch-wide id of the selected warp."""
+        return self.profile.warp_id
+
+
+def feature_vectors(profiles: Sequence[IntervalProfile]) -> np.ndarray:
+    """Eq. 6: per-warp (performance, instruction count), mean-normalised."""
+    perf = np.array([p.warp_perf for p in profiles], dtype=np.float64)
+    insts = np.array([p.n_insts for p in profiles], dtype=np.float64)
+    avg_perf = perf.mean() if perf.mean() else 1.0
+    avg_insts = insts.mean() if insts.mean() else 1.0
+    return np.column_stack([perf / avg_perf, insts / avg_insts])
+
+
+def select_representative(
+    profiles: Sequence[IntervalProfile],
+    strategy: str = "clustering",
+) -> RepresentativeSelection:
+    """Select the representative warp.
+
+    ``strategy`` is one of ``"clustering"`` (the paper's method),
+    ``"max"``, ``"min"`` (Fig. 7 comparators) or ``"first"`` (warp 0, a
+    naive baseline).
+    """
+    if not profiles:
+        raise ValueError("no warp profiles to select from")
+    features = feature_vectors(profiles)
+
+    if strategy == "max":
+        index = int(np.argmax(features[:, 0]))
+        return RepresentativeSelection(index, profiles[index], strategy, features)
+    if strategy == "min":
+        index = int(np.argmin(features[:, 0]))
+        return RepresentativeSelection(index, profiles[index], strategy, features)
+    if strategy == "first":
+        return RepresentativeSelection(0, profiles[0], strategy, features)
+    if strategy != "clustering":
+        raise ValueError("unknown selection strategy %r" % strategy)
+
+    if len(profiles) == 1:
+        return RepresentativeSelection(
+            0, profiles[0], strategy, features, clustering=None
+        )
+    result = kmeans(features, k=2)
+    largest = result.largest_cluster
+    members = np.flatnonzero(result.labels == largest)
+    center = result.centers[largest]
+    distances = ((features[members] - center) ** 2).sum(axis=1)
+    index = int(members[int(np.argmin(distances))])
+    return RepresentativeSelection(
+        index, profiles[index], strategy, features, clustering=result
+    )

@@ -1,0 +1,35 @@
+"""Experiment harness: model-vs-oracle validation and figure drivers.
+
+``runner`` evaluates all Table II models against the timing oracle on one
+kernel; ``experiments`` contains one driver per evaluation figure/table of
+the paper; ``reporting`` renders the same rows/series the paper plots;
+``speedup`` measures the model's wall-clock advantage (Sec. VI-D).
+"""
+
+from repro.harness.runner import (
+    MODELS,
+    KernelResult,
+    Runner,
+)
+from repro.harness.reporting import render_series, render_table
+from repro.harness.sweeps import Sweep, SweepResult
+from repro.harness.validation import (
+    ModelValidation,
+    render_validation,
+    validate_all,
+    validate_model,
+)
+
+__all__ = [
+    "KernelResult",
+    "MODELS",
+    "ModelValidation",
+    "Runner",
+    "Sweep",
+    "SweepResult",
+    "render_series",
+    "render_table",
+    "render_validation",
+    "validate_all",
+    "validate_model",
+]

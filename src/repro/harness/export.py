@@ -1,0 +1,110 @@
+"""Export experiment results to JSON/CSV for downstream analysis.
+
+The figure drivers return :class:`ExperimentResult` objects whose
+``data`` payloads contain rich objects (predictions, oracle statistics,
+numpy values).  This module coerces them into plain JSON-serialisable
+structures and writes per-kernel error tables as CSV — the formats a
+plotting pipeline or a results archive actually wants.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import enum
+import json
+import os
+from typing import Dict, Iterable, List, Union
+
+import numpy as np
+
+PathLike = Union[str, os.PathLike]
+
+
+def to_jsonable(value):
+    """Recursively coerce experiment payloads into JSON-friendly types."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, dict):
+        return {str(to_jsonable(k)): to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [to_jsonable(v) for v in value]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: to_jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if hasattr(value, "as_dict"):
+        return to_jsonable(value.as_dict())
+    return str(value)
+
+
+def experiment_to_dict(result) -> Dict:
+    """Structured JSON form of an ExperimentResult."""
+    return {
+        "experiment": result.experiment,
+        "text": result.text,
+        "data": to_jsonable(result.data),
+    }
+
+
+def save_experiment_json(result, path: PathLike) -> None:
+    """Write one experiment result as pretty-printed JSON."""
+    with open(path, "w") as handle:
+        json.dump(experiment_to_dict(result), handle, indent=2)
+        handle.write("\n")
+
+
+def save_comparison_csv(result, path: PathLike) -> None:
+    """Write a Fig. 11/12-style model comparison as CSV.
+
+    One row per kernel: the oracle CPI, every model's CPI and its
+    relative error.
+    """
+    results: List = result.data.get("results", [])
+    if not results:
+        raise ValueError(
+            "experiment %r has no per-kernel results" % result.experiment
+        )
+    models = sorted(results[0].model_cpis)
+    header = ["kernel", "policy", "n_warps", "oracle_cpi"]
+    for model in models:
+        header += ["%s_cpi" % model, "%s_error" % model]
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for item in results:
+            row = [item.kernel, item.policy, item.n_warps,
+                   "%.6f" % item.oracle_cpi]
+            for model in models:
+                row += [
+                    "%.6f" % item.model_cpis[model],
+                    "%.6f" % item.error(model),
+                ]
+            writer.writerow(row)
+
+
+def save_series_csv(result, path: PathLike) -> None:
+    """Write a Fig. 13/14/15-style sweep (x -> per-model mean error)."""
+    series: Dict[str, Iterable[float]] = result.data.get("series", {})
+    if not series:
+        raise ValueError(
+            "experiment %r has no sweep series" % result.experiment
+        )
+    x_values = sorted(result.data.get("results", {}).keys())
+    names = list(series)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["x"] + names)
+        for i, x in enumerate(x_values):
+            writer.writerow(
+                [x] + ["%.6f" % list(series[name])[i] for name in names]
+            )

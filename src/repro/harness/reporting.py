@@ -1,0 +1,61 @@
+"""Plain-text rendering of experiment results.
+
+The paper reports bar charts and line series; a terminal reproduction
+renders the same data as fixed-width tables so diffs against
+EXPERIMENTS.md stay reviewable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render rows as a fixed-width table with a rule under the header."""
+    materialised: List[List[str]] = [
+        [_fmt(cell) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip()
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialised:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+    percent: bool = False,
+) -> str:
+    """Render one row per series across sweep points (a line chart)."""
+    headers = [x_label] + [_fmt(x) for x in x_values]
+    rows = []
+    for name, values in series.items():
+        cells: List[object] = [name]
+        for value in values:
+            cells.append("%.1f%%" % (100.0 * value) if percent else value)
+        rows.append(cells)
+    return render_table(headers, rows, title=title)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return "%.3f" % cell
+    return str(cell)

@@ -1,0 +1,160 @@
+"""Model-vs-oracle evaluation of one kernel (the Table II comparison).
+
+:class:`Runner` owns the expensive per-kernel artifacts and caches the
+functional trace — traces are machine-independent (the coalescing
+granularity never changes across the paper's sweeps), so a hardware sweep
+re-runs only the cache simulation, the representative warp's interval
+profile and the analytical model, exactly the cost structure the paper
+describes in Sec. VI-D.
+
+Evaluated models (Table II):
+
+=================  =========================================================
+``naive``          Eq. 1: optimistic overlap
+``markov``         Chen & Aamodt first-order Markov-chain model
+``mt``             GPUMech multithreading only (Sec. IV-A)
+``mt_mshr``        multithreading + MSHR contention (Sec. IV-B1)
+``mt_mshr_band``   full GPUMech: + DRAM bandwidth (Sec. IV-B2)
+=================  =========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.config import GPUConfig
+from repro.baselines.markov import markov_chain_cpi
+from repro.baselines.naive import naive_interval_cpi
+from repro.core.model import GPUMech, ModelInputs, Prediction, resident_warps_per_core
+from repro.timing.simulator import TimingSimulator
+from repro.timing.stats import SimStats
+from repro.trace.emulator import emulate
+from repro.trace.trace_types import KernelTrace
+from repro.workloads.generators import Scale
+from repro.workloads.suite import SUITE
+
+#: Evaluation order of Table II.
+MODELS = ("naive", "markov", "mt", "mt_mshr", "mt_mshr_band")
+
+#: Display names used in reports (matching the paper's legends).
+MODEL_LABELS = {
+    "naive": "Naive_Interval",
+    "markov": "Markov_Chain",
+    "mt": "MT",
+    "mt_mshr": "MT_MSHR",
+    "mt_mshr_band": "MT_MSHR_BAND",
+}
+
+
+@dataclass
+class KernelResult:
+    """All model predictions and the oracle measurement for one kernel."""
+
+    kernel: str
+    policy: str
+    n_warps: int
+    oracle_cpi: float
+    model_cpis: Dict[str, float]
+    oracle: SimStats
+    prediction: Prediction  # the full GPUMech prediction (stack etc.)
+
+    def error(self, model: str) -> float:
+        """Relative CPI error of a model against the oracle."""
+        if not self.oracle_cpi:
+            return 0.0
+        return abs(self.model_cpis[model] - self.oracle_cpi) / self.oracle_cpi
+
+    def errors(self) -> Dict[str, float]:
+        """Relative errors of every evaluated model."""
+        return {m: self.error(m) for m in self.model_cpis}
+
+
+class Runner:
+    """Evaluates suite kernels against the oracle under config sweeps."""
+
+    def __init__(self, config: GPUConfig, scale: Optional[Scale] = None):
+        self.config = config
+        self.scale = scale if scale is not None else Scale.small()
+        self._traces: Dict[str, KernelTrace] = {}
+        # Oracle results are deterministic in (kernel, machine, residency):
+        # cache them so e.g. the Fig. 7 strategy comparison simulates once.
+        self._oracle_cache: Dict[tuple, SimStats] = {}
+
+    def trace(self, kernel_name: str) -> KernelTrace:
+        """The (cached) functional trace of a suite kernel."""
+        cached = self._traces.get(kernel_name)
+        if cached is None:
+            kernel, memory = SUITE[kernel_name].build(self.scale)
+            cached = emulate(kernel, self.config, memory=memory)
+            self._traces[kernel_name] = cached
+        return cached
+
+    def prepare(
+        self,
+        kernel_name: str,
+        config: Optional[GPUConfig] = None,
+        selection_strategy: str = "clustering",
+        warps_per_core: Optional[int] = None,
+    ) -> Tuple[GPUMech, ModelInputs]:
+        """Run the input collector + single-warp model for one kernel."""
+        config = config if config is not None else self.config
+        model = GPUMech(config, selection_strategy=selection_strategy)
+        inputs = model.prepare(
+            trace=self.trace(kernel_name), warps_per_core=warps_per_core
+        )
+        return model, inputs
+
+    def simulate(
+        self,
+        kernel_name: str,
+        config: Optional[GPUConfig] = None,
+        warps_per_core: Optional[int] = None,
+    ) -> SimStats:
+        """Run the timing oracle for one kernel (memoised)."""
+        config = config if config is not None else self.config
+        key = (kernel_name, warps_per_core, repr(config))
+        cached = self._oracle_cache.get(key)
+        if cached is None:
+            simulator = TimingSimulator(config, warps_per_core=warps_per_core)
+            cached = simulator.run(self.trace(kernel_name))
+            self._oracle_cache[key] = cached
+        return cached
+
+    def evaluate(
+        self,
+        kernel_name: str,
+        config: Optional[GPUConfig] = None,
+        policy: Optional[str] = None,
+        warps_per_core: Optional[int] = None,
+        selection_strategy: str = "clustering",
+    ) -> KernelResult:
+        """Oracle + all five Table II models on one kernel."""
+        config = config if config is not None else self.config
+        if policy is not None:
+            config = config.with_(scheduler=policy)
+        oracle = self.simulate(kernel_name, config, warps_per_core)
+        model, inputs = self.prepare(
+            kernel_name, config, selection_strategy=selection_strategy,
+            warps_per_core=warps_per_core,
+        )
+        n_warps = resident_warps_per_core(inputs.trace, config, warps_per_core)
+        prediction = model.predict(inputs, n_warps=n_warps)
+        representative = inputs.representative
+        mt_cpi = prediction.cpi_multithreading
+        model_cpis = {
+            "naive": naive_interval_cpi(representative, n_warps),
+            "markov": markov_chain_cpi(representative, n_warps),
+            "mt": mt_cpi,
+            "mt_mshr": mt_cpi + prediction.cpi_mshr,
+            "mt_mshr_band": prediction.cpi,
+        }
+        return KernelResult(
+            kernel=kernel_name,
+            policy=config.scheduler,
+            n_warps=n_warps,
+            oracle_cpi=oracle.cpi,
+            model_cpis=model_cpis,
+            oracle=oracle,
+            prediction=prediction,
+        )

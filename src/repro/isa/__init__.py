@@ -1,0 +1,29 @@
+"""Mini SIMT instruction set and kernel-construction DSL.
+
+This package replaces the CUDA/PTX kernels of the paper's evaluation: the
+workload suite (:mod:`repro.workloads`) writes kernels against this ISA and
+the functional emulator (:mod:`repro.trace`) executes them to produce the
+per-warp instruction traces GPUMech consumes.
+"""
+
+from repro.isa.instructions import (
+    CmpOp,
+    Imm,
+    Instruction,
+    OpClass,
+    Reg,
+    Special,
+)
+from repro.isa.kernel import Kernel
+from repro.isa.builder import KernelBuilder
+
+__all__ = [
+    "CmpOp",
+    "Imm",
+    "Instruction",
+    "Kernel",
+    "KernelBuilder",
+    "OpClass",
+    "Reg",
+    "Special",
+]

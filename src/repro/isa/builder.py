@@ -1,0 +1,401 @@
+"""Assembler-like DSL for writing kernels in the mini SIMT ISA.
+
+The builder hands out fresh registers, wraps Python numbers into
+immediates, resolves symbolic branch labels, and auto-computes
+reconvergence PCs for the two structured control-flow patterns the
+workload suite uses:
+
+* ``with b.if_(pred): ...`` — a forward branch-around whose
+  reconvergence point is the end of the guarded block;
+* ``b.loop_begin()`` / ``b.loop_end(pred)`` — a do-while loop whose
+  backward branch reconverges at the fall-through instruction.
+
+Example
+-------
+>>> b = KernelBuilder("saxpy")
+>>> tid = b.tid()
+>>> addr = b.iadd(b.imul(tid, 4), 0x1000)
+>>> x = b.ld(addr)
+>>> y = b.fmul(x, 2.5)
+>>> b.st(addr, y)
+>>> b.exit()
+>>> kernel = b.build(n_threads=128, block_size=64)
+>>> kernel.n_warps
+4
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+from typing import Dict, List, Optional, Union
+
+from repro.isa.instructions import (
+    CmpOp,
+    Imm,
+    Instruction,
+    Operand,
+    Reg,
+    Special,
+)
+from repro.isa.kernel import Kernel
+
+Number = Union[int, float]
+OperandLike = Union[Operand, Number]
+
+
+class BuilderError(ValueError):
+    """Raised on misuse of :class:`KernelBuilder`."""
+
+
+def _wrap(operand: OperandLike) -> Operand:
+    """Coerce plain numbers into immediates."""
+    if isinstance(operand, (int, float)):
+        return Imm(operand)
+    if isinstance(operand, (Reg, Imm, Special)):
+        return operand
+    raise BuilderError("invalid operand %r" % (operand,))
+
+
+class KernelBuilder:
+    """Incrementally constructs a :class:`~repro.isa.kernel.Kernel`."""
+
+    def __init__(self, name: str, suite: str = "synthetic"):
+        self.name = name
+        self.suite = suite
+        self._insts: List[Instruction] = []
+        self._next_reg = 0
+        self._labels: Dict[str, int] = {}
+        self._auto_label = 0
+        # (instruction index, target label, reconv label or None for auto)
+        self._fixups: List[tuple] = []
+        self._built = False
+
+    # Registers and labels ---------------------------------------------------
+
+    def alloc(self) -> Reg:
+        """Allocate a fresh register."""
+        reg = Reg(self._next_reg)
+        self._next_reg += 1
+        return reg
+
+    @property
+    def pc(self) -> int:
+        """PC of the next instruction to be emitted."""
+        return len(self._insts)
+
+    def label(self, name: Optional[str] = None) -> str:
+        """Bind a label to the current PC and return its name."""
+        if name is None:
+            name = "_L%d" % self._auto_label
+            self._auto_label += 1
+        if name in self._labels:
+            raise BuilderError("label %r already defined" % name)
+        self._labels[name] = self.pc
+        return name
+
+    # Emission helpers --------------------------------------------------------
+
+    def _emit(self, inst: Instruction) -> None:
+        if self._built:
+            raise BuilderError("builder already finalized")
+        self._insts.append(inst)
+
+    def _alu(self, opcode: str, *srcs: OperandLike, dst: Optional[Reg] = None) -> Reg:
+        dst = dst if dst is not None else self.alloc()
+        self._emit(Instruction(opcode, dst=dst, srcs=tuple(_wrap(s) for s in srcs)))
+        return dst
+
+    # Special value accessors --------------------------------------------------
+
+    def tid(self) -> Reg:
+        """Global thread id."""
+        return self._alu("mov", Special.TID)
+
+    def lane(self) -> Reg:
+        """Lane index within the warp."""
+        return self._alu("mov", Special.LANE)
+
+    def warpid(self) -> Reg:
+        """Global warp id."""
+        return self._alu("mov", Special.WARP)
+
+    def ctaid(self) -> Reg:
+        """Thread-block id."""
+        return self._alu("mov", Special.CTAID)
+
+    def ntid(self) -> Reg:
+        """Threads per block."""
+        return self._alu("mov", Special.NTID)
+
+    # ALU ----------------------------------------------------------------------
+
+    def mov(self, src: OperandLike, dst: Optional[Reg] = None) -> Reg:
+        """Copy ``src`` into a register."""
+        return self._alu("mov", src, dst=dst)
+
+    def iadd(self, a: OperandLike, b: OperandLike, dst: Optional[Reg] = None) -> Reg:
+        """Integer addition."""
+        return self._alu("iadd", a, b, dst=dst)
+
+    def isub(self, a: OperandLike, b: OperandLike, dst: Optional[Reg] = None) -> Reg:
+        """Integer subtraction."""
+        return self._alu("isub", a, b, dst=dst)
+
+    def imul(self, a: OperandLike, b: OperandLike, dst: Optional[Reg] = None) -> Reg:
+        """Integer multiplication."""
+        return self._alu("imul", a, b, dst=dst)
+
+    def idiv(self, a: OperandLike, b: OperandLike, dst: Optional[Reg] = None) -> Reg:
+        """Integer floor division (0 on divide-by-zero)."""
+        return self._alu("idiv", a, b, dst=dst)
+
+    def imod(self, a: OperandLike, b: OperandLike, dst: Optional[Reg] = None) -> Reg:
+        """Integer modulo (0 on divide-by-zero)."""
+        return self._alu("imod", a, b, dst=dst)
+
+    def iand(self, a: OperandLike, b: OperandLike, dst: Optional[Reg] = None) -> Reg:
+        """Bitwise AND."""
+        return self._alu("iand", a, b, dst=dst)
+
+    def ior(self, a: OperandLike, b: OperandLike, dst: Optional[Reg] = None) -> Reg:
+        """Bitwise OR."""
+        return self._alu("ior", a, b, dst=dst)
+
+    def ishl(self, a: OperandLike, b: OperandLike, dst: Optional[Reg] = None) -> Reg:
+        """Logical shift left."""
+        return self._alu("ishl", a, b, dst=dst)
+
+    def ishr(self, a: OperandLike, b: OperandLike, dst: Optional[Reg] = None) -> Reg:
+        """Logical shift right."""
+        return self._alu("ishr", a, b, dst=dst)
+
+    def imin(self, a: OperandLike, b: OperandLike, dst: Optional[Reg] = None) -> Reg:
+        """Integer minimum."""
+        return self._alu("imin", a, b, dst=dst)
+
+    def imax(self, a: OperandLike, b: OperandLike, dst: Optional[Reg] = None) -> Reg:
+        """Integer maximum."""
+        return self._alu("imax", a, b, dst=dst)
+
+    def fadd(self, a: OperandLike, b: OperandLike, dst: Optional[Reg] = None) -> Reg:
+        """Floating-point addition."""
+        return self._alu("fadd", a, b, dst=dst)
+
+    def fsub(self, a: OperandLike, b: OperandLike, dst: Optional[Reg] = None) -> Reg:
+        """Floating-point subtraction."""
+        return self._alu("fsub", a, b, dst=dst)
+
+    def fmul(self, a: OperandLike, b: OperandLike, dst: Optional[Reg] = None) -> Reg:
+        """Floating-point multiplication."""
+        return self._alu("fmul", a, b, dst=dst)
+
+    def ffma(
+        self,
+        a: OperandLike,
+        b: OperandLike,
+        c: OperandLike,
+        dst: Optional[Reg] = None,
+    ) -> Reg:
+        """Fused multiply-add: ``a * b + c``."""
+        return self._alu("ffma", a, b, c, dst=dst)
+
+    def fmin(self, a: OperandLike, b: OperandLike, dst: Optional[Reg] = None) -> Reg:
+        """Floating-point minimum."""
+        return self._alu("fmin", a, b, dst=dst)
+
+    def fmax(self, a: OperandLike, b: OperandLike, dst: Optional[Reg] = None) -> Reg:
+        """Floating-point maximum."""
+        return self._alu("fmax", a, b, dst=dst)
+
+    def fneg(self, a: OperandLike, dst: Optional[Reg] = None) -> Reg:
+        """Floating-point negation."""
+        return self._alu("fneg", a, dst=dst)
+
+    def fabs(self, a: OperandLike, dst: Optional[Reg] = None) -> Reg:
+        """Floating-point absolute value."""
+        return self._alu("fabs", a, dst=dst)
+
+    # SFU ------------------------------------------------------------------------
+
+    def frcp(self, a: OperandLike, dst: Optional[Reg] = None) -> Reg:
+        """Reciprocal (SFU)."""
+        return self._alu("frcp", a, dst=dst)
+
+    def fsqrt(self, a: OperandLike, dst: Optional[Reg] = None) -> Reg:
+        """Square root (SFU)."""
+        return self._alu("fsqrt", a, dst=dst)
+
+    def frsqrt(self, a: OperandLike, dst: Optional[Reg] = None) -> Reg:
+        """Reciprocal square root (SFU)."""
+        return self._alu("frsqrt", a, dst=dst)
+
+    def fexp(self, a: OperandLike, dst: Optional[Reg] = None) -> Reg:
+        """Exponential (SFU)."""
+        return self._alu("fexp", a, dst=dst)
+
+    def flog(self, a: OperandLike, dst: Optional[Reg] = None) -> Reg:
+        """Natural logarithm (SFU)."""
+        return self._alu("flog", a, dst=dst)
+
+    def fsin(self, a: OperandLike, dst: Optional[Reg] = None) -> Reg:
+        """Sine (SFU)."""
+        return self._alu("fsin", a, dst=dst)
+
+    # Predicates -------------------------------------------------------------------
+
+    def setp(
+        self,
+        cmp_op: CmpOp,
+        a: OperandLike,
+        b: OperandLike,
+        dst: Optional[Reg] = None,
+    ) -> Reg:
+        """Set a predicate register from a comparison."""
+        dst = dst if dst is not None else self.alloc()
+        self._emit(
+            Instruction(
+                "setp", dst=dst, srcs=(_wrap(a), _wrap(b)), cmp_op=cmp_op
+            )
+        )
+        return dst
+
+    def setp_lt(self, a, b, dst=None):
+        """Predicate: ``a < b``."""
+        return self.setp(CmpOp.LT, a, b, dst=dst)
+
+    def setp_le(self, a, b, dst=None):
+        """Predicate: ``a <= b``."""
+        return self.setp(CmpOp.LE, a, b, dst=dst)
+
+    def setp_gt(self, a, b, dst=None):
+        """Predicate: ``a > b``."""
+        return self.setp(CmpOp.GT, a, b, dst=dst)
+
+    def setp_ge(self, a, b, dst=None):
+        """Predicate: ``a >= b``."""
+        return self.setp(CmpOp.GE, a, b, dst=dst)
+
+    def setp_eq(self, a, b, dst=None):
+        """Predicate: ``a == b``."""
+        return self.setp(CmpOp.EQ, a, b, dst=dst)
+
+    def setp_ne(self, a, b, dst=None):
+        """Predicate: ``a != b``."""
+        return self.setp(CmpOp.NE, a, b, dst=dst)
+
+    def not_(self, pred: Reg) -> Reg:
+        """Logical negation of a predicate (``setp.eq tmp, pred, 0``)."""
+        return self.setp(CmpOp.EQ, pred, 0)
+
+    # Memory -------------------------------------------------------------------------
+
+    def ld(self, addr: OperandLike, offset: int = 0, dst: Optional[Reg] = None) -> Reg:
+        """Global load from ``addr + offset`` (byte address)."""
+        dst = dst if dst is not None else self.alloc()
+        self._emit(Instruction("ld", dst=dst, srcs=(_wrap(addr),), offset=offset))
+        return dst
+
+    def st(self, addr: OperandLike, value: OperandLike, offset: int = 0) -> None:
+        """Global store of ``value`` to ``addr + offset`` (byte address)."""
+        self._emit(
+            Instruction("st", srcs=(_wrap(addr), _wrap(value)), offset=offset)
+        )
+
+    def lds(
+        self, addr: OperandLike, offset: int = 0, dst: Optional[Reg] = None
+    ) -> Reg:
+        """Shared-memory load from ``addr + offset`` (scratchpad byte
+        address, private to the thread block)."""
+        dst = dst if dst is not None else self.alloc()
+        self._emit(Instruction("lds", dst=dst, srcs=(_wrap(addr),),
+                               offset=offset))
+        return dst
+
+    def sts(self, addr: OperandLike, value: OperandLike, offset: int = 0) -> None:
+        """Shared-memory store of ``value`` to ``addr + offset``."""
+        self._emit(
+            Instruction("sts", srcs=(_wrap(addr), _wrap(value)), offset=offset)
+        )
+
+    # Control flow --------------------------------------------------------------------
+
+    def bra(
+        self,
+        target: str,
+        pred: Optional[Reg] = None,
+        reconv: Optional[str] = None,
+    ) -> None:
+        """Branch to label ``target``; conditional if ``pred`` is given.
+
+        If ``reconv`` is omitted for a conditional branch, the
+        reconvergence PC defaults to the fall-through instruction for
+        backward branches (the do-while pattern) and to the branch target
+        for forward branches (the branch-around pattern).
+        """
+        index = self.pc
+        self._emit(
+            Instruction("bra", target=0, reconv=0 if pred is not None else None,
+                        pred=pred)
+        )
+        self._fixups.append((index, target, reconv))
+
+    @contextlib.contextmanager
+    def if_(self, pred: Reg):
+        """Execute the block only for lanes where ``pred`` is true."""
+        negated = self.not_(pred)
+        end_label = "_if_end%d" % self.pc
+        self.bra(end_label, pred=negated)
+        yield
+        self.label(end_label)
+
+    def loop_begin(self) -> str:
+        """Open a do-while loop; returns the head label for loop_end."""
+        return self.label()
+
+    def loop_end(self, head: str, pred: Reg) -> None:
+        """Close a do-while loop: branch back to ``head`` while ``pred``."""
+        self.bra(head, pred=pred)
+
+    def bar(self) -> None:
+        """Block-wide barrier (``__syncthreads()``); must be reached by
+        every warp of the block outside divergent control flow."""
+        self._emit(Instruction("bar"))
+
+    def exit(self) -> None:
+        """Terminate the warp (must be the last instruction)."""
+        self._emit(Instruction("exit"))
+
+    # Finalisation ---------------------------------------------------------------------
+
+    def build(
+        self, n_threads: int, block_size: int, suite: Optional[str] = None
+    ) -> Kernel:
+        """Resolve labels and produce the validated :class:`Kernel`."""
+        program = list(self._insts)
+        for index, target_label, reconv_label in self._fixups:
+            if target_label not in self._labels:
+                raise BuilderError("undefined label %r" % target_label)
+            target = self._labels[target_label]
+            inst = program[index]
+            reconv = None
+            if inst.pred is not None:
+                if reconv_label is not None:
+                    if reconv_label not in self._labels:
+                        raise BuilderError("undefined label %r" % reconv_label)
+                    reconv = self._labels[reconv_label]
+                elif target <= index:  # backward: do-while reconverges after
+                    reconv = index + 1
+                else:  # forward: branch-around reconverges at the target
+                    reconv = target
+            program[index] = dataclasses.replace(
+                inst, target=target, reconv=reconv
+            )
+        self._built = True
+        return Kernel(
+            name=self.name,
+            program=tuple(program),
+            n_threads=n_threads,
+            block_size=block_size,
+            suite=suite if suite is not None else self.suite,
+        )

@@ -1,0 +1,261 @@
+"""Instruction definitions for the mini SIMT ISA.
+
+The ISA is deliberately small but covers everything GPUMech's input traces
+need to exhibit: integer and floating-point ALU operations with distinct
+latencies, special-function-unit (SFU) operations, global loads and stores
+whose per-lane addresses can diverge arbitrarily, predicate-setting
+compares, and branches with *explicit reconvergence PCs* (the immediate
+post-dominator, supplied by the kernel builder) so the emulator's SIMT
+stack can model control divergence exactly.
+
+Operands
+--------
+* :class:`Reg` — a per-thread general-purpose register.
+* :class:`Imm` — an immediate constant (broadcast to all lanes).
+* :class:`Special` — read-only per-thread values: the global thread id,
+  lane id, warp id, block id and block size.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+
+class OpClass(enum.Enum):
+    """Functional class of an instruction; determines its latency class."""
+
+    IALU = "ialu"
+    FALU = "falu"
+    SFU = "sfu"
+    LOAD = "load"
+    STORE = "store"
+    SMEM_LOAD = "smem_load"  # software-managed (shared) memory
+    SMEM_STORE = "smem_store"
+    BARRIER = "barrier"  # block-level __syncthreads()
+    BRANCH = "branch"
+    EXIT = "exit"
+
+    @property
+    def latency_class(self) -> str:
+        """Key into ``GPUConfig.op_latencies`` for compute instructions.
+
+        Loads/stores are priced by the memory hierarchy instead; branches
+        and exits issue in one cycle and are priced as integer ALU ops.
+        """
+        if self in (OpClass.IALU, OpClass.BRANCH, OpClass.EXIT,
+                    OpClass.BARRIER):
+            return "ialu"
+        if self is OpClass.FALU:
+            return "falu"
+        if self is OpClass.SFU:
+            return "sfu"
+        raise ValueError("%s has no fixed latency class" % self)
+
+    @property
+    def is_memory(self) -> bool:
+        """Whether this class accesses the global-memory hierarchy."""
+        return self in (OpClass.LOAD, OpClass.STORE)
+
+    @property
+    def is_shared_memory(self) -> bool:
+        """Whether this class accesses the software-managed scratchpad."""
+        return self in (OpClass.SMEM_LOAD, OpClass.SMEM_STORE)
+
+
+class CmpOp(enum.Enum):
+    """Comparison operator for ``setp`` instructions."""
+
+    LT = "lt"
+    LE = "le"
+    GT = "gt"
+    GE = "ge"
+    EQ = "eq"
+    NE = "ne"
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A general-purpose per-thread register, identified by index."""
+
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError("register index must be non-negative")
+
+    def __repr__(self) -> str:
+        return "r%d" % self.index
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate operand, broadcast to every lane."""
+
+    value: float
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+class Special(enum.Enum):
+    """Read-only per-thread special values."""
+
+    TID = "tid"  # global thread id
+    LANE = "lane"  # lane index within the warp [0, warp_size)
+    WARP = "warp"  # global warp id
+    CTAID = "ctaid"  # thread-block id
+    NTID = "ntid"  # threads per block
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "%%%s" % self.value
+
+
+Operand = Union[Reg, Imm, Special]
+
+#: Opcodes and the operand counts / classes they imply.
+_OPCODES = {
+    # opcode: (OpClass, n_srcs, has_dst)
+    "mov": (OpClass.IALU, 1, True),
+    "iadd": (OpClass.IALU, 2, True),
+    "isub": (OpClass.IALU, 2, True),
+    "imul": (OpClass.IALU, 2, True),
+    "idiv": (OpClass.IALU, 2, True),
+    "imod": (OpClass.IALU, 2, True),
+    "iand": (OpClass.IALU, 2, True),
+    "ior": (OpClass.IALU, 2, True),
+    "ishl": (OpClass.IALU, 2, True),
+    "ishr": (OpClass.IALU, 2, True),
+    "imin": (OpClass.IALU, 2, True),
+    "imax": (OpClass.IALU, 2, True),
+    "setp": (OpClass.IALU, 2, True),  # + cmp_op attribute
+    "fadd": (OpClass.FALU, 2, True),
+    "fsub": (OpClass.FALU, 2, True),
+    "fmul": (OpClass.FALU, 2, True),
+    "ffma": (OpClass.FALU, 3, True),
+    "fmin": (OpClass.FALU, 2, True),
+    "fmax": (OpClass.FALU, 2, True),
+    "fneg": (OpClass.FALU, 1, True),
+    "fabs": (OpClass.FALU, 1, True),
+    "frcp": (OpClass.SFU, 1, True),
+    "fsqrt": (OpClass.SFU, 1, True),
+    "frsqrt": (OpClass.SFU, 1, True),
+    "fexp": (OpClass.SFU, 1, True),
+    "flog": (OpClass.SFU, 1, True),
+    "fsin": (OpClass.SFU, 1, True),
+    "ld": (OpClass.LOAD, 1, True),  # src: address register; + offset
+    "st": (OpClass.STORE, 2, False),  # srcs: address, value; + offset
+    "lds": (OpClass.SMEM_LOAD, 1, True),  # shared-memory load
+    "sts": (OpClass.SMEM_STORE, 2, False),  # shared-memory store
+    "bra": (OpClass.BRANCH, 0, False),  # + target/reconv/pred attributes
+    "bar": (OpClass.BARRIER, 0, False),  # block-wide barrier
+    "exit": (OpClass.EXIT, 0, False),
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One static instruction of the mini ISA.
+
+    Attributes
+    ----------
+    opcode:
+        One of the keys of the internal opcode table (e.g. ``"ffma"``).
+    dst:
+        Destination register, or ``None`` for stores/branches/exit.
+    srcs:
+        Source operands.  For ``ld`` the single source is the address
+        register; for ``st`` the sources are (address, value).
+    offset:
+        Byte offset added to the address for memory operations.
+    cmp_op:
+        Comparison operator, ``setp`` only.
+    target:
+        Branch target PC (resolved by the builder), ``bra`` only.
+    reconv:
+        Reconvergence PC — the immediate post-dominator of the branch,
+        where diverged lane groups re-join.  ``bra`` only.
+    pred:
+        Predicate register guarding a conditional branch; ``None`` makes
+        the branch unconditional.
+    """
+
+    opcode: str
+    dst: Optional[Reg] = None
+    srcs: Tuple[Operand, ...] = field(default_factory=tuple)
+    offset: int = 0
+    cmp_op: Optional[CmpOp] = None
+    target: Optional[int] = None
+    reconv: Optional[int] = None
+    pred: Optional[Reg] = None
+
+    def __post_init__(self) -> None:
+        if self.opcode not in _OPCODES:
+            raise ValueError("unknown opcode %r" % (self.opcode,))
+        opclass, n_srcs, has_dst = _OPCODES[self.opcode]
+        if len(self.srcs) != n_srcs:
+            raise ValueError(
+                "%s takes %d source operand(s), got %d"
+                % (self.opcode, n_srcs, len(self.srcs))
+            )
+        if has_dst and self.dst is None:
+            raise ValueError("%s requires a destination register" % self.opcode)
+        if not has_dst and self.dst is not None:
+            raise ValueError("%s cannot have a destination register" % self.opcode)
+        if self.opcode == "setp" and self.cmp_op is None:
+            raise ValueError("setp requires cmp_op")
+        if self.opcode != "setp" and self.cmp_op is not None:
+            raise ValueError("cmp_op is only valid for setp")
+        if self.opcode in ("ld", "lds") and not isinstance(
+            self.srcs[0], (Reg, Imm)
+        ):
+            raise ValueError("load address must be a register or immediate")
+        if self.opcode in ("st", "sts") and not isinstance(
+            self.srcs[0], (Reg, Imm)
+        ):
+            raise ValueError("store address must be a register or immediate")
+        if self.opcode == "bra":
+            if self.target is None:
+                raise ValueError("bra requires a target")
+        elif self.target is not None or self.reconv is not None or self.pred is not None:
+            raise ValueError("target/reconv/pred are only valid for bra")
+
+    @property
+    def opclass(self) -> OpClass:
+        """Functional class of this instruction."""
+        return _OPCODES[self.opcode][0]
+
+    @property
+    def source_registers(self) -> Tuple[Reg, ...]:
+        """The register sources (the operands that create dependencies)."""
+        regs = [s for s in self.srcs if isinstance(s, Reg)]
+        if self.pred is not None:
+            regs.append(self.pred)
+        return tuple(regs)
+
+    def __repr__(self) -> str:
+        parts = [self.opcode]
+        if self.cmp_op is not None:
+            parts[0] = "%s.%s" % (self.opcode, self.cmp_op.value)
+        ops = []
+        if self.dst is not None:
+            ops.append(repr(self.dst))
+        ops.extend(repr(s) for s in self.srcs)
+        if self.opcode in ("ld", "st") and self.offset:
+            ops.append("+%d" % self.offset)
+        if self.opcode == "bra":
+            ops.append("->%s" % self.target)
+            if self.pred is not None:
+                ops.append("if %r" % self.pred)
+            if self.reconv is not None:
+                ops.append("reconv@%d" % self.reconv)
+        return "%s %s" % (parts[0], ", ".join(ops))
+
+
+def opcode_class(opcode: str) -> OpClass:
+    """Return the :class:`OpClass` of an opcode string."""
+    try:
+        return _OPCODES[opcode][0]
+    except KeyError:
+        raise ValueError("unknown opcode %r" % (opcode,)) from None

@@ -1,0 +1,131 @@
+"""Kernel container: a program plus launch geometry.
+
+A :class:`Kernel` is what the workload suite hands to the functional
+emulator.  It owns the static instruction list and the launch geometry
+(total threads, threads per block), and validates structural properties
+that the emulator relies on: resolved branch targets, reconvergence PCs
+that strictly post-dominate their branches, and a terminating ``exit``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.isa.instructions import Instruction, OpClass
+
+
+class KernelValidationError(ValueError):
+    """Raised when a kernel program is structurally invalid."""
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """An executable kernel.
+
+    Attributes
+    ----------
+    name:
+        Human-readable kernel name (used in reports and experiment tables).
+    program:
+        The static instruction sequence.
+    n_threads:
+        Total threads launched (the grid).
+    block_size:
+        Threads per thread block; blocks are the unit of core assignment.
+    suite:
+        Optional provenance label (e.g. ``"rodinia"``), cosmetic.
+    """
+
+    name: str
+    program: Tuple[Instruction, ...]
+    n_threads: int
+    block_size: int
+    suite: str = "synthetic"
+
+    def __post_init__(self) -> None:
+        if not self.program:
+            raise KernelValidationError("empty program")
+        if self.n_threads <= 0:
+            raise KernelValidationError("n_threads must be positive")
+        if self.block_size <= 0:
+            raise KernelValidationError("block_size must be positive")
+        if self.n_threads % self.block_size != 0:
+            raise KernelValidationError(
+                "n_threads (%d) must be a multiple of block_size (%d)"
+                % (self.n_threads, self.block_size)
+            )
+        n = len(self.program)
+        if self.program[-1].opclass is not OpClass.EXIT:
+            raise KernelValidationError("program must end with exit")
+        for pc, inst in enumerate(self.program):
+            if inst.opclass is OpClass.BRANCH:
+                if not (0 <= inst.target < n):
+                    raise KernelValidationError(
+                        "pc %d: branch target %s out of range" % (pc, inst.target)
+                    )
+                if inst.pred is not None:
+                    if inst.reconv is None:
+                        raise KernelValidationError(
+                            "pc %d: conditional branch requires a reconvergence pc"
+                            % pc
+                        )
+                    if not (0 <= inst.reconv < n):
+                        raise KernelValidationError(
+                            "pc %d: reconvergence pc %s out of range"
+                            % (pc, inst.reconv)
+                        )
+                    # The reconvergence point must be reachable by falling
+                    # through from both sides, i.e. strictly after the branch
+                    # on the fall-through path and at-or-after the target on
+                    # the taken path (backward branches reconverge at pc+1).
+                    if inst.reconv <= pc and inst.reconv <= inst.target:
+                        raise KernelValidationError(
+                            "pc %d: reconvergence pc %d precedes both paths"
+                            % (pc, inst.reconv)
+                        )
+
+    @property
+    def n_warps(self) -> int:
+        """Total warps in the launch (assuming warp size 32)."""
+        return (self.n_threads + 31) // 32
+
+    @property
+    def warps_per_block(self) -> int:
+        """Warps per thread block (warp size 32)."""
+        return (self.block_size + 31) // 32
+
+    @property
+    def n_blocks(self) -> int:
+        """Thread blocks in the launch."""
+        return self.n_threads // self.block_size
+
+    @property
+    def max_register(self) -> int:
+        """Highest register index referenced by the program."""
+        hi = -1
+        for inst in self.program:
+            if inst.dst is not None:
+                hi = max(hi, inst.dst.index)
+            for reg in inst.source_registers:
+                hi = max(hi, reg.index)
+        return hi
+
+    def describe(self) -> str:
+        """A short multi-line summary used by examples and reports."""
+        n_mem = sum(1 for i in self.program if i.opclass.is_memory)
+        n_br = sum(1 for i in self.program if i.opclass is OpClass.BRANCH)
+        return (
+            "kernel %s [%s]: %d static insts (%d memory, %d branch), "
+            "%d threads in %d blocks of %d"
+            % (
+                self.name,
+                self.suite,
+                len(self.program),
+                n_mem,
+                n_br,
+                self.n_threads,
+                self.n_blocks,
+                self.block_size,
+            )
+        )

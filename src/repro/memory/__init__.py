@@ -1,0 +1,25 @@
+"""Memory-system substrate: caches, MSHRs, DRAM queue, cache simulator.
+
+The functional half (``cache``, ``hierarchy``, ``cache_simulator``) is the
+input collector's cache simulator from Sec. V of the paper: it replays the
+traces' memory requests round-robin across warps and produces per-PC
+miss-event distributions.  The timed pieces (``mshr``, ``dram``) are used
+by the cycle-level oracle in :mod:`repro.timing`.
+"""
+
+from repro.memory.cache import Cache
+from repro.memory.hierarchy import MemoryHierarchy, MissEvent
+from repro.memory.mshr import MSHRFile
+from repro.memory.dram import DRAMQueue
+from repro.memory.cache_simulator import CacheSimResult, PCStats, simulate_caches
+
+__all__ = [
+    "Cache",
+    "CacheSimResult",
+    "DRAMQueue",
+    "MSHRFile",
+    "MemoryHierarchy",
+    "MissEvent",
+    "PCStats",
+    "simulate_caches",
+]

@@ -1,0 +1,115 @@
+"""DRAM bandwidth queue: a single FCFS server shared by all cores.
+
+The timing oracle charges every DRAM transfer (load fills that missed the
+L2, and all write-through store traffic) a slot on the DRAM bus.  The
+service time of one cache line is ``line_size / bandwidth`` converted to
+core cycles (Eq. 22 of the paper).  Queuing delay emerges naturally from
+FCFS ordering — this is the ground truth against which GPUMech's M/D/1
+approximation (Sec. IV-B2) is validated.
+"""
+
+from __future__ import annotations
+
+
+class DRAMQueue:
+    """FCFS single-server queue with deterministic service time."""
+
+    def __init__(self, service_cycles: float):
+        if service_cycles <= 0:
+            raise ValueError("service_cycles must be positive")
+        self.service_cycles = float(service_cycles)
+        self._free_at = 0.0
+        self.n_requests = 0
+        self.busy_cycles = 0.0
+        self.total_queue_delay = 0.0
+
+    def enqueue(self, arrival: float) -> float:
+        """Enqueue a transfer arriving at ``arrival``.
+
+        Returns the cycle at which the transfer completes (queue wait +
+        service).  The DRAM array access latency is *not* included — the
+        caller adds the configured ``dram_latency`` on top.
+        """
+        start = max(float(arrival), self._free_at)
+        completion = start + self.service_cycles
+        self.total_queue_delay += start - float(arrival)
+        self.busy_cycles += self.service_cycles
+        self._free_at = completion
+        self.n_requests += 1
+        return completion
+
+    @property
+    def free_at(self) -> float:
+        """Cycle at which the bus becomes idle."""
+        return self._free_at
+
+    def utilization(self, elapsed_cycles: float) -> float:
+        """Fraction of elapsed time the bus was busy."""
+        if elapsed_cycles <= 0:
+            return 0.0
+        return min(1.0, self.busy_cycles / elapsed_cycles)
+
+    @property
+    def mean_queue_delay(self) -> float:
+        """Average per-request queuing delay observed so far."""
+        return self.total_queue_delay / self.n_requests if self.n_requests else 0.0
+
+
+class DRAMSystem:
+    """Address-interleaved multi-channel DRAM (extension beyond Table I).
+
+    The aggregate bandwidth is split evenly over ``n_channels`` FCFS
+    queues; a line maps to channel ``(line_addr / line_size) % n``.  With
+    one channel (the default, matching the paper) this degenerates to a
+    single :class:`DRAMQueue`.  More channels keep the same aggregate
+    bandwidth but serve each request ``n`` times slower — latency gets
+    worse at equal utilisation while burst parallelism improves, the
+    classic channel-count trade-off.
+    """
+
+    def __init__(self, aggregate_service_cycles: float, n_channels: int,
+                 line_size: int):
+        if n_channels < 1:
+            raise ValueError("n_channels must be >= 1")
+        self.n_channels = n_channels
+        self.line_size = line_size
+        self._shift = line_size.bit_length() - 1
+        per_channel_service = aggregate_service_cycles * n_channels
+        self.channels = [
+            DRAMQueue(per_channel_service) for _ in range(n_channels)
+        ]
+
+    def channel_of(self, line_addr: int) -> int:
+        """The channel a line address interleaves onto."""
+        return (line_addr >> self._shift) % self.n_channels
+
+    def enqueue(self, arrival: float, line_addr: int = 0) -> float:
+        """Enqueue a transfer on the line's channel; returns completion."""
+        return self.channels[self.channel_of(line_addr)].enqueue(arrival)
+
+    # Aggregate statistics ----------------------------------------------------
+
+    @property
+    def n_requests(self) -> int:
+        """Transfers served across all channels."""
+        return sum(c.n_requests for c in self.channels)
+
+    @property
+    def busy_cycles(self) -> float:
+        """Total channel-busy cycles across all channels."""
+        return sum(c.busy_cycles for c in self.channels)
+
+    def utilization(self, elapsed_cycles: float) -> float:
+        """Mean per-channel busy fraction over the elapsed window."""
+        if elapsed_cycles <= 0:
+            return 0.0
+        return min(
+            1.0, self.busy_cycles / (elapsed_cycles * self.n_channels)
+        )
+
+    @property
+    def mean_queue_delay(self) -> float:
+        """Average per-request queuing delay across channels."""
+        total = sum(c.total_queue_delay for c in self.channels)
+        n = self.n_requests
+        return total / n if n else 0.0

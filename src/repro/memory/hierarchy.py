@@ -1,0 +1,62 @@
+"""Two-level cache hierarchy: per-core L1s in front of a shared L2.
+
+Classifies each memory request into one of the paper's three miss events
+(Sec. V-B): ``l1_hit``, ``l2_hit`` or ``l2_miss``.  The events order by
+latency, which is how a divergent instruction's overall event is chosen
+(the request with the longest latency determines the instruction's stall).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List
+
+from repro.config import GPUConfig
+from repro.memory.cache import Cache
+
+
+class MissEvent(enum.IntEnum):
+    """Miss events ordered by latency (higher = slower)."""
+
+    L1_HIT = 0
+    L2_HIT = 1
+    L2_MISS = 2
+
+    @property
+    def key(self) -> str:
+        """The ``GPUConfig.miss_event_latency`` key for this event."""
+        return {"L1_HIT": "l1_hit", "L2_HIT": "l2_hit", "L2_MISS": "l2_miss"}[
+            self.name
+        ]
+
+
+class MemoryHierarchy:
+    """Per-core L1 caches and a shared L2, driven by line addresses."""
+
+    def __init__(self, config: GPUConfig):
+        self.config = config
+        self.l1s: List[Cache] = [
+            Cache(config.l1_size, config.l1_assoc, config.line_size)
+            for _ in range(config.n_cores)
+        ]
+        self.l2 = Cache(config.l2_size, config.l2_assoc, config.line_size)
+
+    def access(self, core: int, line_addr: int, is_store: bool = False) -> MissEvent:
+        """Access one coalesced request; returns its miss event.
+
+        Stores are write-through/no-allocate at both levels: they refresh
+        recency on hit but never install lines nor evict.  Their miss
+        event is still reported so bandwidth accounting can distinguish
+        L2-filtered write traffic from DRAM write traffic.
+        """
+        if not (0 <= core < len(self.l1s)):
+            raise IndexError("core %d out of range" % core)
+        if self.l1s[core].access(line_addr, is_write=is_store):
+            return MissEvent.L1_HIT
+        if self.l2.access(line_addr, is_write=is_store):
+            return MissEvent.L2_HIT
+        return MissEvent.L2_MISS
+
+    def event_latency(self, event: MissEvent) -> int:
+        """End-to-end access latency of a miss event (no queuing)."""
+        return self.config.miss_event_latency(event.key)

@@ -1,0 +1,14 @@
+"""Detailed cycle-level timing simulator — the validation oracle.
+
+This package replaces Macsim in the paper's methodology (Sec. VI-A): a
+trace-driven, in-order, multithreaded SIMT core model with round-robin and
+greedy-then-oldest warp schedulers, dependency scoreboarding, timed L1/L2
+caches, per-core MSHR files with miss merging and pending hits, and a
+shared FCFS DRAM bandwidth queue.  GPUMech's predictions are validated by
+relative CPI error against this simulator.
+"""
+
+from repro.timing.simulator import TimingSimulator, simulate_kernel
+from repro.timing.stats import SimStats
+
+__all__ = ["SimStats", "TimingSimulator", "simulate_kernel"]

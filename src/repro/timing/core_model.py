@@ -1,0 +1,465 @@
+"""Per-core issue logic of the timing oracle.
+
+Each core holds a queue of thread blocks, keeps up to ``warps_per_core``
+warps resident (block-granular residency, like real GPUs), and issues at
+most one warp-instruction per cycle chosen by the configured scheduler:
+
+* **RR** (round-robin): priority rotates to the warp after the last
+  issuer; the first ready warp in rotation order issues.
+* **GTO** (greedy-then-oldest): keep issuing from the current warp until
+  it stalls, then switch to the *oldest* resident warp that is ready
+  (age = activation order) [Rogers et al., MICRO'12].
+
+Dependency semantics match the interval algorithm (Eq. 4): a consumer may
+issue ``latency`` cycles after its producer issued.  Loads walk the timed
+L1/MSHR/L2/DRAM path built from :mod:`repro.memory`; stores are
+write-through fire-and-forget traffic that consumes DRAM bandwidth but
+never blocks the warp (and never occupies MSHRs) — the asymmetry behind
+the paper's DRAM-bandwidth model.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import GPUConfig
+from repro.memory.cache import Cache
+from repro.memory.dram import DRAMSystem
+from repro.memory.mshr import MSHRError, MSHRFile
+from repro.timing.stats import CoreStats
+from repro.trace.trace_types import NO_DEP, OpCode, WarpTrace
+
+
+class IssueStatus(enum.Enum):
+    """Outcome of asking a warp whether it can issue this cycle."""
+
+    OK = "ok"
+    DEP_STALL = "dep"  # producers not complete yet
+    MSHR_STALL = "mshr"  # ready but the MSHR file is full
+    SFU_STALL = "sfu"  # ready but the SFU pipeline is occupied
+    SMEM_STALL = "smem"  # ready but the scratchpad LSU is occupied
+    BARRIER_STALL = "bar"  # waiting for block-mates at a barrier
+    FINISHED = "finished"
+
+
+_LOAD = int(OpCode.LOAD)
+_STORE = int(OpCode.STORE)
+_SFU = int(OpCode.SFU)
+_SMEM_LOAD = int(OpCode.SMEM_LOAD)
+_SMEM_STORE = int(OpCode.SMEM_STORE)
+_BARRIER = int(OpCode.BARRIER)
+
+
+class _WarpRun:
+    """Runtime state of one resident warp.
+
+    Trace columns are converted to native Python lists on activation:
+    the issue loop touches them once per instruction per scheduler scan,
+    where numpy scalar boxing would dominate the simulation time.
+    """
+
+    __slots__ = (
+        "trace",
+        "age",
+        "next_idx",
+        "done",
+        "_ready_at",
+        "n_insts",
+        "ops",
+        "pcs",
+        "deps",
+        "req_lines",
+        "req_offsets",
+        "conflict",
+        "bar_count",
+        "block_runs",
+    )
+
+    def __init__(self, trace: WarpTrace, age: int):
+        self.trace = trace
+        self.age = age
+        self.next_idx = 0
+        self.n_insts = len(trace)
+        self.ops = trace.ops.tolist()
+        self.pcs = trace.pcs.tolist()
+        self.deps = trace.deps.tolist()
+        self.req_lines = trace.req_lines.tolist()
+        self.req_offsets = trace.req_offsets.tolist()
+        self.conflict = trace.conflict.tolist()
+        self.bar_count = 0
+        self.block_runs: List["_WarpRun"] = []
+        # Completion cycle of each issued dynamic instruction.
+        self.done = [0.0] * self.n_insts
+        self._ready_at: float = 0.0
+        self._refresh_ready()
+
+    @property
+    def finished(self) -> bool:
+        """Whether every traced instruction has issued."""
+        return self.next_idx >= self.n_insts
+
+    @property
+    def ready_at(self) -> float:
+        """Earliest cycle the next instruction may issue."""
+        return self._ready_at
+
+    def requests(self, index: int):
+        """Request line addresses of one dynamic instruction (list slice)."""
+        return self.req_lines[self.req_offsets[index]: self.req_offsets[index + 1]]
+
+    def _refresh_ready(self) -> None:
+        """Recompute the earliest issue cycle of the next instruction."""
+        if self.next_idx >= self.n_insts:
+            self._ready_at = float("inf")
+            return
+        ready = 0.0
+        done = self.done
+        for dep in self.deps[self.next_idx]:
+            if dep != NO_DEP:
+                t = done[dep]
+                if t > ready:
+                    ready = t
+        self._ready_at = ready
+
+    def complete_at(self, completion: float) -> None:
+        """Record the just-issued instruction's completion and advance."""
+        self.done[self.next_idx] = completion
+        self.next_idx += 1
+        self._refresh_ready()
+
+
+class CoreModel:
+    """One in-order SIMT core with private L1 and MSHR file."""
+
+    def __init__(
+        self,
+        core_id: int,
+        config: GPUConfig,
+        l2: Cache,
+        dram: DRAMSystem,
+        blocks: Sequence[Sequence[WarpTrace]],
+        warps_per_core: Optional[int] = None,
+    ):
+        self.core_id = core_id
+        self.config = config
+        self.l1 = Cache(config.l1_size, config.l1_assoc, config.line_size)
+        self.l2 = l2
+        self.dram = dram
+        self.mshr = MSHRFile(config.n_mshrs)
+        self.warps_per_core = (
+            warps_per_core if warps_per_core is not None
+            else config.max_warps_per_core
+        )
+        self.stats = CoreStats(core_id)
+        self._latency: Dict[int, float] = {
+            int(op): float(config.op_latencies[op.latency_class])
+            for op in (OpCode.IALU, OpCode.FALU, OpCode.SFU)
+        }
+        # Branches and exits occupy the issue slot for one cycle and have
+        # no consumers.
+        self._latency[int(OpCode.BRANCH)] = 1.0
+        self._latency[int(OpCode.EXIT)] = 1.0
+
+        self._block_queue: List[List[WarpTrace]] = [list(b) for b in blocks]
+        self._resident_blocks: List[List[_WarpRun]] = []
+        self._resident: List[_WarpRun] = []
+        self._age_counter = 0
+        # Scheduler state.
+        self._rr_next = 0
+        self._gto_current: Optional[_WarpRun] = None
+        # A core's issue eligibility only changes with its own events
+        # (dependency completions, MSHR releases), so after a failed scan
+        # it can sleep until the earliest such event instead of rescanning
+        # every cycle.
+        self._sleep_until = 0.0
+        self._sleep_kind = IssueStatus.DEP_STALL
+        # Entries the cheapest MSHR-stalled load is waiting for; lets
+        # next_event_after sleep until the k-th MSHR release rather than
+        # waking on every single one.
+        self._mshr_need = 1
+        self._last_mshr_need = 1
+        # SFU pipeline occupancy (extension beyond Table I: with fewer
+        # SFU lanes than the SIMT width, an SFU warp-instruction blocks
+        # the unit for warp_size / n_sfu_units cycles).
+        self._sfu_limited = config.n_sfu_units < config.warp_size
+        self._sfu_free_at = 0.0
+        # Scratchpad LSU occupancy: a bank-conflicted access replays for
+        # its conflict degree, blocking other scratchpad accesses.
+        self._smem_free_at = 0.0
+        self._smem_latency = float(config.smem_latency)
+        self._activate_blocks()
+
+    # Residency -------------------------------------------------------------
+
+    def _activate_blocks(self) -> None:
+        """Bring queued blocks on-core while warp slots are available."""
+        while self._block_queue:
+            block = self._block_queue[0]
+            if len(self._resident) + len(block) > self.warps_per_core:
+                break
+            self._block_queue.pop(0)
+            runs = []
+            for trace in block:
+                run = _WarpRun(trace, self._age_counter)
+                self._age_counter += 1
+                runs.append(run)
+            for run in runs:
+                run.block_runs = runs
+            self._resident_blocks.append(runs)
+            self._resident.extend(runs)
+
+    def _retire_blocks(self) -> None:
+        """Release blocks whose warps all finished; admit new ones."""
+        finished = [b for b in self._resident_blocks if all(w.finished for w in b)]
+        if not finished:
+            return
+        for block in finished:
+            self._resident_blocks.remove(block)
+            for run in block:
+                self._resident.remove(run)
+        if self._rr_next >= len(self._resident):
+            self._rr_next = 0
+        if self._gto_current is not None and self._gto_current.finished:
+            self._gto_current = None
+        self._activate_blocks()
+
+    @property
+    def finished(self) -> bool:
+        """Whether all assigned blocks have completed."""
+        return not self._resident and not self._block_queue
+
+    @property
+    def n_resident(self) -> int:
+        """Warps currently resident on the core."""
+        return len(self._resident)
+
+    # Issue -----------------------------------------------------------------
+
+    def _issue_check(self, run: _WarpRun, now: float) -> IssueStatus:
+        if run.next_idx >= run.n_insts:
+            return IssueStatus.FINISHED
+        if run.ready_at > now:
+            return IssueStatus.DEP_STALL
+        index = run.next_idx
+        if (
+            self._sfu_limited
+            and run.ops[index] == _SFU
+            and self._sfu_free_at > now
+        ):
+            return IssueStatus.SFU_STALL
+        if (
+            run.ops[index] in (_SMEM_LOAD, _SMEM_STORE)
+            and self._smem_free_at > now
+        ):
+            return IssueStatus.SMEM_STALL
+        if run.ops[index] == _BARRIER and not self._barrier_open(run):
+            return IssueStatus.BARRIER_STALL
+        if run.ops[index] == _LOAD:
+            needed = 0
+            mshr_lookup = self.mshr.lookup
+            l1_probe = self.l1.probe
+            for line in run.requests(index):
+                if not l1_probe(line) and mshr_lookup(line) is None:
+                    needed += 1
+            if needed > self.mshr.n_entries:
+                raise MSHRError(
+                    "load at pc %d needs %d MSHR entries but the file only "
+                    "has %d; configure n_mshrs >= warp_size"
+                    % (run.pcs[index], needed, self.mshr.n_entries)
+                )
+            if needed > self.mshr.free_entries:
+                self._last_mshr_need = needed
+                return IssueStatus.MSHR_STALL
+        return IssueStatus.OK
+
+    def _barrier_open(self, run: _WarpRun) -> bool:
+        """Whether every block-mate has arrived at this warp's barrier.
+
+        A mate has arrived when it already issued this barrier
+        (``bar_count`` greater), is parked at it (next instruction is the
+        same barrier), or has finished the kernel.
+        """
+        k = run.bar_count
+        for mate in run.block_runs:
+            if mate is run or mate.finished or mate.bar_count > k:
+                continue
+            if not (
+                mate.bar_count == k
+                and mate.ops[mate.next_idx] == _BARRIER
+            ):
+                return False
+        return True
+
+    def _issue(self, run: _WarpRun, now: float) -> None:
+        index = run.next_idx
+        op = run.ops[index]
+        if op == _LOAD:
+            completion = self._issue_load(run, index, now)
+        elif op == _STORE:
+            self._issue_store(run, index, now)
+            completion = now + 1.0
+        elif op == _SMEM_LOAD:
+            degree = max(run.conflict[index], 1)
+            completion = now + self._smem_latency + (degree - 1)
+            self._smem_free_at = now + degree
+        elif op == _SMEM_STORE:
+            degree = max(run.conflict[index], 1)
+            completion = now + 1.0
+            self._smem_free_at = now + degree
+        elif op == _BARRIER:
+            completion = now + 1.0
+            run.bar_count += 1
+        else:
+            completion = now + self._latency[op]
+            if op == _SFU and self._sfu_limited:
+                self._sfu_free_at = now + self.config.sfu_service_cycles
+        run.complete_at(completion)
+        self.stats.insts_issued += 1
+        if run.finished:
+            self._retire_blocks()
+
+    def _issue_load(self, run: _WarpRun, index: int, now: float) -> float:
+        """Walk every coalesced request through L1/MSHR/L2/DRAM."""
+        config = self.config
+        completion = 0.0
+        for line in run.requests(index):
+            if self.l1.access(line):
+                # Tag hit; if the line's fill is still in flight this is a
+                # pending hit and completes when the original miss returns.
+                t = now + config.l1_latency
+                pending = self.mshr.lookup(line)
+                if pending is not None and pending > t:
+                    t = pending
+            else:
+                merged = self.mshr.lookup(line)
+                if merged is not None:
+                    t = merged
+                else:
+                    if self.l2.access(line):
+                        completion = now + config.l2_latency
+                    else:
+                        arrival = now + config.l2_latency
+                        completion = (
+                            self.dram.enqueue(arrival, line) + config.dram_latency
+                        )
+                    try:
+                        t = self.mshr.allocate(line, completion)
+                    except MSHRError:
+                        # The issue check counted this line as an L1 hit,
+                        # but an earlier request of this same instruction
+                        # evicted it.  Model a replay: the miss starts
+                        # once the earliest in-flight entry releases.
+                        free_at = self.mshr.next_completion() or now
+                        t = completion + max(free_at - now, 0.0)
+            if t > completion:
+                completion = t
+        return completion
+
+    def _issue_store(self, run: _WarpRun, index: int, now: float) -> None:
+        """Write-through store: probes caches, always consumes DRAM bus."""
+        config = self.config
+        for line in run.requests(index):
+            self.l1.access(line, is_write=True)
+            self.l2.access(line, is_write=True)
+            self.dram.enqueue(now + config.l2_latency, line)
+
+    # Scheduling --------------------------------------------------------------
+
+    def _candidates_rr(self) -> List[_WarpRun]:
+        n = len(self._resident)
+        start = self._rr_next % n if n else 0
+        return self._resident[start:] + self._resident[:start]
+
+    def _candidates_gto(self) -> List[_WarpRun]:
+        order = sorted(self._resident, key=lambda run: run.age)
+        if self._gto_current is not None and not self._gto_current.finished:
+            order.remove(self._gto_current)
+            order.insert(0, self._gto_current)
+        return order
+
+    def step(self, now: float) -> bool:
+        """Attempt to issue one instruction at cycle ``now``.
+
+        Returns True if an instruction issued.  Updates stall statistics
+        otherwise.
+        """
+        if self.finished:
+            return False
+        if now < self._sleep_until:
+            # Known-stalled: no event of this core can have fired yet.
+            if self._sleep_kind is IssueStatus.MSHR_STALL:
+                self.stats.mshr_stall_cycles += 1
+            elif self._sleep_kind is IssueStatus.SFU_STALL:
+                self.stats.sfu_stall_cycles += 1
+            else:
+                self.stats.dep_stall_cycles += 1
+            self.stats.active_cycles += 1
+            return False
+        self.mshr.release_completed(now)
+        self.stats.active_cycles += 1
+        rr = self.config.scheduler == "rr"
+        candidates = self._candidates_rr() if rr else self._candidates_gto()
+        saw_mshr_stall = False
+        saw_sfu_stall = False
+        min_mshr_need = None
+        for run in candidates:
+            status = self._issue_check(run, now)
+            if status is IssueStatus.OK:
+                self._issue(run, now)
+                self.stats.issue_cycles += 1
+                self.stats.finish_cycle = now
+                if rr:
+                    if run in self._resident:
+                        self._rr_next = (self._resident.index(run) + 1) % max(
+                            len(self._resident), 1
+                        )
+                else:
+                    self._gto_current = run if not run.finished else None
+                return True
+            if status is IssueStatus.MSHR_STALL:
+                saw_mshr_stall = True
+                if min_mshr_need is None or self._last_mshr_need < min_mshr_need:
+                    min_mshr_need = self._last_mshr_need
+            elif status in (IssueStatus.SFU_STALL, IssueStatus.SMEM_STALL):
+                saw_sfu_stall = True
+            elif status is IssueStatus.BARRIER_STALL:
+                self.stats.barrier_stall_cycles += 1
+        if saw_mshr_stall:
+            self.stats.mshr_stall_cycles += 1
+            self._sleep_kind = IssueStatus.MSHR_STALL
+        elif saw_sfu_stall:
+            self.stats.sfu_stall_cycles += 1
+            self._sleep_kind = IssueStatus.SFU_STALL
+        else:
+            self.stats.dep_stall_cycles += 1
+            self._sleep_kind = IssueStatus.DEP_STALL
+        self._mshr_need = min_mshr_need or 1
+        self._sleep_until = self.next_event_after(now)
+        return False
+
+    def next_event_after(self, now: float) -> float:
+        """Earliest future cycle at which this core could possibly issue.
+
+        Used for cycle skipping when no core can issue: the core wakes at
+        the earliest dependency-ready time or MSHR release, whichever
+        comes first.
+        """
+        if self.finished:
+            return float("inf")
+        best = float("inf")
+        for run in self._resident:
+            ready = run.ready_at
+            if now < ready < best:
+                best = ready
+        k = 1
+        if self._sleep_kind is IssueStatus.MSHR_STALL:
+            k = max(1, self._mshr_need - self.mshr.free_entries)
+        mshr_next = self.mshr.kth_completion(k)
+        if mshr_next is not None and now < mshr_next < best:
+            best = mshr_next
+        if self._sfu_limited and now < self._sfu_free_at < best:
+            best = self._sfu_free_at
+        if now < self._smem_free_at < best:
+            best = self._smem_free_at
+        return best if best != float("inf") else now + 1.0

@@ -1,0 +1,142 @@
+"""Top-level multi-core timing simulation with cycle skipping.
+
+All cores share the L2 and the DRAM bandwidth queue and advance in
+lockstep on a global cycle counter.  When *no* core can issue (all warps
+dependency- or MSHR-stalled), the clock jumps directly to the earliest
+cycle at which any core could wake — an optimisation that changes nothing
+observable because stalled cores have no per-cycle side effects (verified
+by ``tests/test_timing.py`` against the naive single-step loop).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+from repro.config import GPUConfig
+from repro.memory.cache import Cache
+from repro.memory.cache_simulator import core_of_block
+from repro.memory.dram import DRAMSystem
+from repro.timing.core_model import CoreModel
+from repro.timing.stats import SimStats
+from repro.trace.trace_types import KernelTrace, WarpTrace
+
+
+class SimulationError(RuntimeError):
+    """Raised when a simulation cannot make progress."""
+
+
+class TimingSimulator:
+    """Cycle-level oracle for one kernel launch.
+
+    Parameters
+    ----------
+    config:
+        Machine description (Table I).
+    warps_per_core:
+        Override of the resident-warp limit (Fig. 13/16 sweeps); defaults
+        to ``config.max_warps_per_core``.
+    cycle_skipping:
+        Disable to force the naive one-cycle-at-a-time loop (used by the
+        equivalence tests; dramatically slower).
+    """
+
+    def __init__(
+        self,
+        config: GPUConfig,
+        warps_per_core: Optional[int] = None,
+        cycle_skipping: bool = True,
+        max_cycles: float = 5e8,
+    ):
+        self.config = config
+        self.warps_per_core = warps_per_core
+        self.cycle_skipping = cycle_skipping
+        self.max_cycles = max_cycles
+
+    def run(self, trace: KernelTrace) -> SimStats:
+        """Simulate the kernel launch; returns aggregate statistics."""
+        config = self.config
+        blocks: Dict[int, List[WarpTrace]] = defaultdict(list)
+        for warp in trace.warps:
+            blocks[warp.block_id].append(warp)
+        per_core_blocks: List[List[List[WarpTrace]]] = [
+            [] for _ in range(config.n_cores)
+        ]
+        for block_id in sorted(blocks):
+            per_core_blocks[core_of_block(block_id, config.n_cores)].append(
+                blocks[block_id]
+            )
+
+        l2 = Cache(config.l2_size, config.l2_assoc, config.line_size)
+        dram = DRAMSystem(
+            config.dram_service_cycles, config.n_dram_channels,
+            config.line_size,
+        )
+        cores = [
+            CoreModel(
+                core_id,
+                config,
+                l2,
+                dram,
+                per_core_blocks[core_id],
+                warps_per_core=self.warps_per_core,
+            )
+            for core_id in range(config.n_cores)
+            if per_core_blocks[core_id]
+        ]
+        if not cores:
+            raise SimulationError("kernel launch assigned no warps to any core")
+
+        now = 0.0
+        while True:
+            issued_any = False
+            all_finished = True
+            for core in cores:
+                if core.finished:
+                    continue
+                all_finished = False
+                if core.step(now):
+                    issued_any = True
+            if all_finished:
+                break
+            if issued_any or not self.cycle_skipping:
+                now += 1.0
+            else:
+                wake = min(core.next_event_after(now) for core in cores
+                           if not core.finished)
+                if wake == float("inf"):
+                    raise SimulationError("deadlock: no core has a future event")
+                # Completion events can be fractional (the DRAM service time
+                # is not an integer number of cycles) but issue happens on
+                # integer cycle boundaries only.
+                now = max(now + 1.0, math.ceil(wake))
+            if now > self.max_cycles:
+                raise SimulationError(
+                    "exceeded max_cycles=%g (runaway simulation)" % self.max_cycles
+                )
+
+        total_cycles = max(core.stats.finish_cycle for core in cores) + 1.0
+        stats = SimStats(
+            kernel_name=trace.kernel_name,
+            scheduler=config.scheduler,
+            total_cycles=total_cycles,
+            total_insts=sum(core.stats.insts_issued for core in cores),
+            n_cores_used=len(cores),
+            cores=[core.stats for core in cores],
+            dram_requests=dram.n_requests,
+            dram_mean_queue_delay=dram.mean_queue_delay,
+            dram_utilization=dram.utilization(total_cycles),
+            mshr_merges=sum(core.mshr.n_merges for core in cores),
+            mshr_allocations=sum(core.mshr.n_allocations for core in cores),
+        )
+        return stats
+
+
+def simulate_kernel(
+    trace: KernelTrace,
+    config: GPUConfig,
+    warps_per_core: Optional[int] = None,
+) -> SimStats:
+    """Convenience wrapper: run the oracle on a kernel trace."""
+    return TimingSimulator(config, warps_per_core=warps_per_core).run(trace)

@@ -1,0 +1,29 @@
+"""Input collector: functional SIMT emulation producing per-warp traces.
+
+This package is the reproduction's stand-in for GPUOcelot (Sec. V of the
+paper): it functionally executes a kernel, models control divergence with
+a reconvergence stack, coalesces memory accesses into cache-line requests,
+and emits per-warp dynamic instruction traces tagged with dependency
+information — exactly the input the interval algorithm consumes.
+"""
+
+from repro.trace.trace_types import KernelTrace, OpCode, WarpTrace
+from repro.trace.memory_image import MemoryImage
+from repro.trace.coalescer import coalesce
+from repro.trace.simt_stack import SimtStack
+from repro.trace.emulator import EmulatorError, emulate
+from repro.trace.serialization import TraceFormatError, load_trace, save_trace
+
+__all__ = [
+    "EmulatorError",
+    "KernelTrace",
+    "MemoryImage",
+    "OpCode",
+    "SimtStack",
+    "TraceFormatError",
+    "WarpTrace",
+    "coalesce",
+    "emulate",
+    "load_trace",
+    "save_trace",
+]

@@ -1,0 +1,44 @@
+"""Memory-access coalescing: per-lane addresses → cache-line requests.
+
+GPUs coalesce the (up to 32) byte addresses of a warp's memory instruction
+into requests for distinct cache lines.  The *memory divergence degree* of
+an instruction is the number of distinct lines it touches: 1 for a fully
+coalesced access, up to ``warp_size`` for a fully diverged one.  This
+degree is the central workload property the paper's contention models
+react to (Sec. II-B, Fig. 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def coalesce(addresses: np.ndarray, line_size: int) -> np.ndarray:
+    """Coalesce active-lane byte addresses into unique line base addresses.
+
+    Parameters
+    ----------
+    addresses:
+        int64 array of byte addresses of the *active* lanes only.
+    line_size:
+        Cache line size in bytes (must be a power of two).
+
+    Returns
+    -------
+    Sorted int64 array of distinct cache-line base addresses.
+    """
+    if line_size <= 0 or (line_size & (line_size - 1)) != 0:
+        raise ValueError("line_size must be a positive power of two")
+    if len(addresses) == 0:
+        return np.empty(0, dtype=np.int64)
+    lines = np.unique(np.asarray(addresses, dtype=np.int64) >> _log2(line_size))
+    return lines << _log2(line_size)
+
+
+def divergence_degree(addresses: np.ndarray, line_size: int) -> int:
+    """Number of distinct cache lines touched (1 = fully coalesced)."""
+    return len(coalesce(addresses, line_size))
+
+
+def _log2(value: int) -> int:
+    return value.bit_length() - 1

@@ -1,0 +1,99 @@
+"""Trace persistence: save/load kernel traces as ``.npz`` archives.
+
+Functional emulation is the most expensive hardware-independent stage of
+the pipeline (the paper runs GPUOcelot once and reuses its traces for
+both the model and the detailed simulator).  Persisting traces lets a
+design-space study emulate each kernel once and sweep hardware
+configurations across processes or machines.
+
+The format is a single compressed numpy archive: a small JSON header
+plus, per warp, the five column arrays of :class:`WarpTrace`.  Integers
+are stored at their natural widths; the archive is portable and
+versioned.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.trace.trace_types import KernelTrace, WarpTrace
+
+#: Bump when the on-disk layout changes incompatibly.
+FORMAT_VERSION = 2
+
+
+class TraceFormatError(RuntimeError):
+    """Raised when an archive is not a valid trace file."""
+
+
+def save_trace(trace: KernelTrace, path: Union[str, os.PathLike]) -> None:
+    """Write a kernel trace to ``path`` (a ``.npz`` archive)."""
+    header = {
+        "format_version": FORMAT_VERSION,
+        "kernel_name": trace.kernel_name,
+        "warp_size": trace.warp_size,
+        "line_size": trace.line_size,
+        "n_blocks": trace.n_blocks,
+        "warps": [
+            {"warp_id": w.warp_id, "block_id": w.block_id}
+            for w in trace.warps
+        ],
+    }
+    arrays = {"header": np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8
+    )}
+    for i, warp in enumerate(trace.warps):
+        arrays["w%d_pcs" % i] = warp.pcs
+        arrays["w%d_ops" % i] = warp.ops
+        arrays["w%d_deps" % i] = warp.deps
+        arrays["w%d_active" % i] = warp.active
+        arrays["w%d_req_offsets" % i] = warp.req_offsets
+        arrays["w%d_req_lines" % i] = warp.req_lines
+        arrays["w%d_conflict" % i] = warp.conflict
+    np.savez_compressed(path, **arrays)
+
+
+def load_trace(path: Union[str, os.PathLike]) -> KernelTrace:
+    """Read a kernel trace written by :func:`save_trace`."""
+    with np.load(path) as archive:
+        if "header" not in archive:
+            raise TraceFormatError("%s is not a trace archive" % path)
+        try:
+            header = json.loads(bytes(archive["header"]).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise TraceFormatError("corrupt trace header in %s" % path) from exc
+        version = header.get("format_version")
+        if version not in (1, FORMAT_VERSION):
+            raise TraceFormatError(
+                "unsupported trace format version %r (expected <= %d)"
+                % (version, FORMAT_VERSION)
+            )
+        trace = KernelTrace(
+            kernel_name=header["kernel_name"],
+            warp_size=header["warp_size"],
+            line_size=header["line_size"],
+            n_blocks=header["n_blocks"],
+        )
+        for i, meta in enumerate(header["warps"]):
+            trace.warps.append(
+                WarpTrace(
+                    warp_id=meta["warp_id"],
+                    block_id=meta["block_id"],
+                    pcs=archive["w%d_pcs" % i],
+                    ops=archive["w%d_ops" % i],
+                    deps=archive["w%d_deps" % i],
+                    active=archive["w%d_active" % i],
+                    req_offsets=archive["w%d_req_offsets" % i],
+                    req_lines=archive["w%d_req_lines" % i],
+                    conflict=(
+                        archive["w%d_conflict" % i]
+                        if "w%d_conflict" % i in archive
+                        else None  # v1 archives predate scratchpad support
+                    ),
+                )
+            )
+    return trace

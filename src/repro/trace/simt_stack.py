@@ -1,0 +1,111 @@
+"""SIMT reconvergence stack for control divergence.
+
+Implements the classic post-dominator stack (GPGPU-Sim style) with the
+reconvergence PC supplied explicitly by each conditional branch (the
+kernel builder computes it for structured control flow):
+
+* On a *divergent* branch, the top-of-stack entry becomes the *join*
+  entry — it keeps the full mask and waits at the reconvergence PC —
+  and one child entry per outcome (taken / fall-through) is pushed with
+  the corresponding lane subset.
+* A child entry whose PC reaches its reconvergence PC is popped, handing
+  control back to its sibling or, once all siblings drained, to the join
+  entry with the full mask restored.
+
+The emulator executes only the top-of-stack entry, which serialises the
+two sides of a divergent branch exactly as SIMT hardware does — and
+thereby inflates divergent warps' dynamic instruction counts, the effect
+the representative-warp clustering (Sec. III-C) exists to absorb.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+
+class SimtStackError(RuntimeError):
+    """Raised on structurally impossible stack operations."""
+
+
+@dataclass
+class StackEntry:
+    """One lane group: where it executes and where it rejoins."""
+
+    pc: int
+    mask: np.ndarray  # bool array over lanes
+    reconv: Optional[int]  # None for the top-level entry
+
+    @property
+    def n_active(self) -> int:
+        """Number of active lanes in this group."""
+        return int(self.mask.sum())
+
+
+class SimtStack:
+    """Reconvergence stack of one warp."""
+
+    def __init__(self, initial_mask: np.ndarray):
+        mask = np.asarray(initial_mask, dtype=bool)
+        if not mask.any():
+            raise SimtStackError("warp has no active lanes")
+        self._entries: List[StackEntry] = [StackEntry(0, mask.copy(), None)]
+
+    @property
+    def depth(self) -> int:
+        """Current stack depth (1 = no divergence in flight)."""
+        return len(self._entries)
+
+    @property
+    def top(self) -> StackEntry:
+        """The executing lane group."""
+        return self._entries[-1]
+
+    def pop_reconverged(self) -> bool:
+        """Pop the TOS if it has reached its reconvergence PC.
+
+        Returns True if a pop happened (the caller should re-inspect the
+        new TOS before executing).
+        """
+        top = self.top
+        if top.reconv is not None and top.pc == top.reconv:
+            self._entries.pop()
+            if not self._entries:
+                raise SimtStackError("popped the top-level entry")
+            return True
+        return False
+
+    def branch(self, taken_mask: np.ndarray, target: int, reconv: Optional[int]) -> None:
+        """Apply a conditional branch outcome to the TOS.
+
+        ``taken_mask`` is the lanes (within the TOS mask) that take the
+        branch.  Uniform outcomes just redirect the PC; divergent ones
+        split the entry as described in the module docstring.
+        """
+        top = self.top
+        taken = np.asarray(taken_mask, dtype=bool) & top.mask
+        not_taken = top.mask & ~taken
+        if not taken.any():
+            top.pc += 1
+            return
+        if not not_taken.any():
+            top.pc = target
+            return
+        if reconv is None:
+            raise SimtStackError("divergent branch without a reconvergence pc")
+        fallthrough_pc = top.pc + 1
+        # TOS becomes the join entry, holding the full mask at the
+        # reconvergence point; children carry the split masks.
+        top.pc = reconv
+        self._entries.append(StackEntry(target, taken, reconv))
+        self._entries.append(StackEntry(fallthrough_pc, not_taken, reconv))
+
+    def jump(self, target: int) -> None:
+        """Unconditional branch of the TOS."""
+        self.top.pc = target
+
+    def advance(self) -> None:
+        """Fall through to the next instruction."""
+        self.top.pc += 1

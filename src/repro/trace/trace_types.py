@@ -1,0 +1,268 @@
+"""Trace containers: the artifact the input collector produces.
+
+A :class:`WarpTrace` is a column-oriented record of one warp's dynamic
+instruction stream: static PC, operation class, up to three producer
+indices (dependencies *within* the same warp trace, resolved from register
+names at emulation time), the active-lane count, and the coalesced memory
+request line addresses for loads/stores.
+
+Column orientation (parallel numpy arrays rather than objects) keeps the
+memory footprint small enough to trace whole kernels and makes the
+interval algorithm and the timing simulator cache-friendly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+
+class OpCode(enum.IntEnum):
+    """Compact operation-class codes stored in trace columns."""
+
+    IALU = 0
+    FALU = 1
+    SFU = 2
+    LOAD = 3
+    STORE = 4
+    BRANCH = 5
+    EXIT = 6
+    SMEM_LOAD = 7  # software-managed (shared) memory
+    SMEM_STORE = 8
+    BARRIER = 9  # block-level __syncthreads()
+
+    @property
+    def is_memory(self) -> bool:
+        """Whether this op accesses the global-memory hierarchy."""
+        return self in (OpCode.LOAD, OpCode.STORE)
+
+    @property
+    def is_shared_memory(self) -> bool:
+        """Whether this op accesses the software-managed scratchpad."""
+        return self in (OpCode.SMEM_LOAD, OpCode.SMEM_STORE)
+
+    @property
+    def latency_class(self) -> str:
+        """Latency-table key for non-memory operations."""
+        if self in (OpCode.IALU, OpCode.BRANCH, OpCode.EXIT,
+                    OpCode.BARRIER):
+            return "ialu"
+        if self is OpCode.FALU:
+            return "falu"
+        if self is OpCode.SFU:
+            return "sfu"
+        raise ValueError("%s is priced by the memory hierarchy" % self)
+
+
+#: Maximum producer (dependency) slots recorded per dynamic instruction.
+MAX_DEPS = 3
+
+#: Sentinel for "no producer" in dependency columns.
+NO_DEP = -1
+
+
+@dataclass
+class WarpTrace:
+    """The dynamic instruction trace of a single warp.
+
+    All arrays share the same length ``n`` (dynamic instruction count).
+
+    Attributes
+    ----------
+    warp_id:
+        Global warp index within the launch.
+    block_id:
+        Thread block this warp belongs to (unit of core assignment).
+    pcs:
+        Static instruction index per dynamic instruction.
+    ops:
+        :class:`OpCode` values (int8).
+    deps:
+        ``(n, MAX_DEPS)`` int32 array of producer indices into this same
+        trace (``NO_DEP`` padding).  A dynamic instruction may issue only
+        after all its producers have completed.
+    active:
+        Active-lane count per dynamic instruction (int16).
+    req_offsets:
+        ``(n + 1,)`` int64 prefix array into :attr:`req_lines`; dynamic
+        instruction ``k`` issued ``req_offsets[k+1] - req_offsets[k]``
+        coalesced memory requests.
+    req_lines:
+        Flat int64 array of cache-line base addresses, one per request.
+    conflict:
+        Shared-memory bank-conflict degree per dynamic instruction
+        (int16): 0 for non-scratchpad instructions, otherwise the number
+        of serialised bank accesses (1 = conflict-free).
+    """
+
+    warp_id: int
+    block_id: int
+    pcs: np.ndarray
+    ops: np.ndarray
+    deps: np.ndarray
+    active: np.ndarray
+    req_offsets: np.ndarray
+    req_lines: np.ndarray
+    conflict: np.ndarray = None
+
+    def __post_init__(self) -> None:
+        n = len(self.pcs)
+        if self.conflict is None:
+            self.conflict = np.zeros(n, dtype=np.int16)
+        if len(self.conflict) != n:
+            raise ValueError("conflict column length mismatch")
+        if not (
+            len(self.ops) == n
+            and self.deps.shape == (n, MAX_DEPS)
+            and len(self.active) == n
+            and len(self.req_offsets) == n + 1
+        ):
+            raise ValueError("inconsistent trace column lengths")
+        if n and self.req_offsets[-1] != len(self.req_lines):
+            raise ValueError("request offsets do not cover req_lines")
+
+    def __len__(self) -> int:
+        return len(self.pcs)
+
+    @property
+    def n_insts(self) -> int:
+        """Dynamic instruction count of this warp."""
+        return len(self.pcs)
+
+    def n_requests(self, index: int) -> int:
+        """Number of coalesced memory requests of dynamic instruction."""
+        return int(self.req_offsets[index + 1] - self.req_offsets[index])
+
+    def requests(self, index: int) -> np.ndarray:
+        """Cache-line base addresses requested by dynamic instruction."""
+        return self.req_lines[self.req_offsets[index]: self.req_offsets[index + 1]]
+
+    @property
+    def is_load(self) -> np.ndarray:
+        """Boolean mask of load instructions."""
+        return self.ops == OpCode.LOAD
+
+    @property
+    def is_store(self) -> np.ndarray:
+        """Boolean mask of store instructions."""
+        return self.ops == OpCode.STORE
+
+    @property
+    def is_memory(self) -> np.ndarray:
+        """Boolean mask of memory instructions."""
+        return (self.ops == OpCode.LOAD) | (self.ops == OpCode.STORE)
+
+    @property
+    def is_shared_memory(self) -> np.ndarray:
+        """Boolean mask of scratchpad instructions."""
+        return (self.ops == OpCode.SMEM_LOAD) | (self.ops == OpCode.SMEM_STORE)
+
+    @property
+    def requests_per_inst(self) -> np.ndarray:
+        """Vector of request counts (0 for non-memory instructions)."""
+        return np.diff(self.req_offsets)
+
+
+class WarpTraceBuilder:
+    """Accumulates one warp's trace row by row, then freezes to arrays."""
+
+    def __init__(self, warp_id: int, block_id: int):
+        self.warp_id = warp_id
+        self.block_id = block_id
+        self._pcs: List[int] = []
+        self._ops: List[int] = []
+        self._deps: List[Sequence[int]] = []
+        self._active: List[int] = []
+        self._req_counts: List[int] = []
+        self._req_lines: List[int] = []
+        self._conflict: List[int] = []
+
+    def append(
+        self,
+        pc: int,
+        op: OpCode,
+        deps: Sequence[int],
+        active: int,
+        request_lines: Sequence[int] = (),
+        conflict: int = 0,
+    ) -> int:
+        """Record one dynamic instruction; returns its trace index."""
+        index = len(self._pcs)
+        self._pcs.append(pc)
+        self._ops.append(int(op))
+        padded = list(deps)[:MAX_DEPS]
+        padded.extend([NO_DEP] * (MAX_DEPS - len(padded)))
+        self._deps.append(padded)
+        self._active.append(active)
+        self._req_counts.append(len(request_lines))
+        self._req_lines.extend(int(r) for r in request_lines)
+        self._conflict.append(conflict)
+        return index
+
+    def __len__(self) -> int:
+        return len(self._pcs)
+
+    def build(self) -> WarpTrace:
+        """Freeze the accumulated rows into an immutable WarpTrace."""
+        n = len(self._pcs)
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        if n:
+            np.cumsum(self._req_counts, out=offsets[1:])
+        return WarpTrace(
+            warp_id=self.warp_id,
+            block_id=self.block_id,
+            pcs=np.asarray(self._pcs, dtype=np.int32),
+            ops=np.asarray(self._ops, dtype=np.int8),
+            deps=np.asarray(self._deps, dtype=np.int32).reshape(n, MAX_DEPS),
+            active=np.asarray(self._active, dtype=np.int16),
+            req_offsets=offsets,
+            req_lines=np.asarray(self._req_lines, dtype=np.int64),
+            conflict=np.asarray(self._conflict, dtype=np.int16),
+        )
+
+
+@dataclass
+class KernelTrace:
+    """All warp traces of one kernel launch."""
+
+    kernel_name: str
+    warp_size: int
+    line_size: int
+    n_blocks: int
+    warps: List[WarpTrace] = field(default_factory=list)
+
+    @property
+    def n_warps(self) -> int:
+        """Number of warps in the launch."""
+        return len(self.warps)
+
+    @property
+    def total_insts(self) -> int:
+        """Dynamic instructions across all warps."""
+        return sum(len(w) for w in self.warps)
+
+    @property
+    def total_requests(self) -> int:
+        """Coalesced memory requests across all warps."""
+        return sum(len(w.req_lines) for w in self.warps)
+
+    def warps_of_block(self, block_id: int) -> List[WarpTrace]:
+        """The warps belonging to one thread block."""
+        return [w for w in self.warps if w.block_id == block_id]
+
+    def summary(self) -> str:
+        """One-line description for logs and examples."""
+        return (
+            "trace of %s: %d warps in %d blocks, %d dynamic insts, "
+            "%d memory requests"
+            % (
+                self.kernel_name,
+                self.n_warps,
+                self.n_blocks,
+                self.total_insts,
+                self.total_requests,
+            )
+        )

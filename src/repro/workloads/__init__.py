@@ -1,0 +1,29 @@
+"""Synthetic workload suite standing in for Rodinia / Parboil / NVIDIA SDK.
+
+The paper evaluates 40 kernels from Rodinia 2.1, Parboil 2.5 and the
+NVIDIA SDK.  We cannot execute CUDA binaries, so this package provides 40
+kernels written in the mini ISA that span the same behavioural axes the
+paper's models react to — memory-divergence degree, control divergence,
+cache locality, write traffic and compute intensity.  Three kernels are
+deliberate analogues of the paper's Sec. VII case studies
+(``cfd_step_factor``, ``cfd_compute_flux``, ``kmeans_invert_mapping``).
+"""
+
+from repro.workloads.generators import Layout, Scale
+from repro.workloads.suite import (
+    SUITE,
+    KernelSpec,
+    get_kernel,
+    kernel_names,
+    kernels_with_tag,
+)
+
+__all__ = [
+    "KernelSpec",
+    "Layout",
+    "SUITE",
+    "Scale",
+    "get_kernel",
+    "kernel_names",
+    "kernels_with_tag",
+]

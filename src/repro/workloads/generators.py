@@ -1,0 +1,876 @@
+"""Parametric kernel-family generators.
+
+Each generator returns ``(Kernel, MemoryImage)`` — a program in the mini
+ISA plus the deterministic synthetic memory contents that drive its
+data-dependent behaviour.  Generators are parameterised by a
+:class:`Scale` (launch geometry and loop-trip multipliers) so the same
+kernel runs at test size or experiment size.
+
+Element-wise kernels use *grid-stride loops* (each thread processes
+``scale.iters`` elements spaced ``n_threads`` apart), exactly as
+production CUDA kernels do.  Besides realism, this keeps traces long
+enough that steady-state behaviour dominates the cold-cache warm-up
+transient — interval analysis, like the paper's, is a steady-state model.
+
+Behavioural axes covered (and the paper feature they exercise):
+
+* coalesced streaming            — baseline interval behaviour
+* strided access, degree 2..32   — memory divergence (Fig. 3, Sec. IV-B)
+* gathers with tunable footprint — cache locality vs. MSHR pressure
+* divergent scatter stores       — DRAM write bandwidth (invert_mapping)
+* data-dependent loops/ifs       — control divergence (Sec. III-C)
+* FP/SFU chains, tunable ILP     — dependence stalls, issue behaviour
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.isa.builder import KernelBuilder
+from repro.isa.kernel import Kernel
+from repro.trace.memory_image import MemoryImage
+
+KernelAndMemory = Tuple[Kernel, MemoryImage]
+
+#: Cache line size assumed by stride arithmetic below (Table I).
+LINE = 128
+WORD = 4  # bytes per data element
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Launch geometry and work-amount preset."""
+
+    n_blocks: int
+    block_size: int
+    iters: int  # grid-stride trip count / inner-loop multiplier
+
+    @property
+    def n_threads(self) -> int:
+        """Total threads in the launch."""
+        return self.n_blocks * self.block_size
+
+    @property
+    def n_elements(self) -> int:
+        """Elements touched by a grid-stride kernel."""
+        return self.n_threads * self.iters
+
+    @classmethod
+    def tiny(cls) -> "Scale":
+        """Unit-test size: a handful of warps, short loops."""
+        return cls(n_blocks=4, block_size=64, iters=2)
+
+    @classmethod
+    def small(cls) -> "Scale":
+        """Default experiment size: 3x occupancy on the default 2-core,
+        32-warps/core experiment machine (48 blocks of 4 warps)."""
+        return cls(n_blocks=48, block_size=128, iters=3)
+
+    @classmethod
+    def large(cls) -> "Scale":
+        """Occupancy-matched size for the 16-core Table I machine."""
+        return cls(n_blocks=384, block_size=128, iters=4)
+
+
+class Layout:
+    """Allocates disjoint array base addresses in the flat byte space."""
+
+    #: Space between arrays: large enough that distinct arrays never share
+    #: cache sets systematically.
+    SPACING = 1 << 24
+
+    def __init__(self) -> None:
+        self._next = self.SPACING  # keep address 0 unused
+
+    def array(self, n_bytes: int = 0) -> int:
+        """Reserve an array of ``n_bytes``; returns its base address."""
+        base = self._next
+        needed = max(n_bytes, 1)
+        slots = -(-needed // self.SPACING)
+        self._next += slots * self.SPACING
+        return base
+
+
+@contextlib.contextmanager
+def grid_stride(b: KernelBuilder, scale: Scale):
+    """Grid-stride loop: yields the element-index register.
+
+    The loop trip count (``scale.iters``) is uniform across lanes, so the
+    backward branch never diverges.
+    """
+    tid = b.tid()
+    idx = b.mov(tid)
+    trip = b.mov(0)
+    head = b.loop_begin()
+    yield idx
+    b.iadd(idx, scale.n_threads, dst=idx)
+    b.iadd(trip, 1, dst=trip)
+    pred = b.setp_lt(trip, scale.iters)
+    b.loop_end(head, pred)
+
+
+# ---------------------------------------------------------------------------
+# Streaming / coalesced
+# ---------------------------------------------------------------------------
+
+
+def streaming(
+    name: str,
+    scale: Scale,
+    n_arrays: int = 2,
+    chain: int = 4,
+    suite: str = "synthetic",
+) -> KernelAndMemory:
+    """Coalesced streaming: load ``n_arrays`` inputs, FP chain, store.
+
+    Every access is unit-stride so each warp instruction coalesces to a
+    single cache-line request; no reuse, so traffic streams to DRAM.
+    """
+    layout = Layout()
+    inputs = [layout.array(scale.n_elements * WORD) for _ in range(n_arrays)]
+    output = layout.array(scale.n_elements * WORD)
+    b = KernelBuilder(name, suite)
+    with grid_stride(b, scale) as idx:
+        offset = b.imul(idx, WORD)
+        acc = b.mov(0.0)
+        for base in inputs:
+            value = b.ld(b.iadd(offset, base))
+            acc = b.ffma(value, 1.5, acc)
+        for _ in range(chain):
+            acc = b.fmul(acc, 1.0001, dst=acc)
+        b.st(b.iadd(offset, output), acc)
+    b.exit()
+    return b.build(scale.n_threads, scale.block_size), MemoryImage()
+
+
+def strided(
+    name: str,
+    scale: Scale,
+    stride_bytes: int,
+    n_loads: int = 2,
+    suite: str = "synthetic",
+) -> KernelAndMemory:
+    """Strided access with memory-divergence degree ``stride/4`` (max 32).
+
+    Lane ``i`` accesses ``base + idx * stride``; with a 128-byte line a
+    stride of 128 puts every lane on its own line (degree 32), 64 gives
+    degree 16, and so on down to fully coalesced at stride 4.
+    """
+    layout = Layout()
+    inputs = [
+        layout.array(scale.n_elements * stride_bytes) for _ in range(n_loads)
+    ]
+    output = layout.array(scale.n_elements * stride_bytes)
+    b = KernelBuilder(name, suite)
+    with grid_stride(b, scale) as idx:
+        offset = b.imul(idx, stride_bytes)
+        acc = b.mov(1.0)
+        for base in inputs:
+            value = b.ld(b.iadd(offset, base))
+            acc = b.ffma(value, 2.0, acc)
+        b.st(b.iadd(offset, output), acc)
+    b.exit()
+    return b.build(scale.n_threads, scale.block_size), MemoryImage()
+
+
+def transpose_scatter(
+    name: str,
+    scale: Scale,
+    row_words: int = 1024,
+    suite: str = "synthetic",
+) -> KernelAndMemory:
+    """Coalesced loads, column-major (fully divergent) stores.
+
+    The write-traffic pathology of matrix transpose: reads coalesce, the
+    scatter store touches one line per lane.
+    """
+    layout = Layout()
+    src = layout.array(scale.n_elements * WORD)
+    dst = layout.array(scale.n_elements * row_words * WORD)
+    b = KernelBuilder(name, suite)
+    with grid_stride(b, scale) as idx:
+        value = b.ld(b.iadd(b.imul(idx, WORD), src))
+        row = b.imod(idx, row_words)
+        col = b.idiv(idx, row_words)
+        out = b.iadd(b.imul(b.iadd(b.imul(row, row_words), col), WORD), dst)
+        b.st(out, value)
+    b.exit()
+    return b.build(scale.n_threads, scale.block_size), MemoryImage(
+        track_stores=False
+    )
+
+
+# ---------------------------------------------------------------------------
+# Compute-bound
+# ---------------------------------------------------------------------------
+
+
+def compute_chain(
+    name: str,
+    scale: Scale,
+    chain: int = 32,
+    ilp: int = 1,
+    use_sfu: bool = False,
+    suite: str = "synthetic",
+) -> KernelAndMemory:
+    """Dependent FP (or SFU) chains with ``ilp`` independent streams.
+
+    ``ilp = 1`` maximises dependence stalls; larger ILP approaches
+    issue-bound behaviour.
+    """
+    layout = Layout()
+    output = layout.array(scale.n_threads * WORD)
+    b = KernelBuilder(name, suite)
+    tid = b.tid()
+    accs = [b.mov(1.0 + i) for i in range(ilp)]
+    for step in range(chain * scale.iters):
+        lane = step % ilp
+        if use_sfu and step % 4 == 0:
+            accs[lane] = b.fsqrt(accs[lane], dst=accs[lane])
+        else:
+            accs[lane] = b.ffma(accs[lane], 1.0001, 0.25, dst=accs[lane])
+    total = accs[0]
+    for extra in accs[1:]:
+        total = b.fadd(total, extra, dst=total)
+    b.st(b.iadd(b.imul(tid, WORD), output), total)
+    b.exit()
+    return b.build(scale.n_threads, scale.block_size), MemoryImage()
+
+
+def mandelbrot_like(
+    name: str,
+    scale: Scale,
+    max_iters: int = 16,
+    suite: str = "synthetic",
+) -> KernelAndMemory:
+    """Control-divergent compute: data-dependent escape-time loop.
+
+    Each thread loads its trip count (pseudo-uniform in [1, max_iters])
+    and iterates a dependent FP recurrence — lanes exit at different
+    times, shrinking the active mask exactly like an escape-time fractal.
+    """
+    layout = Layout()
+    trips = layout.array(scale.n_threads * WORD)
+    output = layout.array(scale.n_threads * WORD)
+    b = KernelBuilder(name, suite)
+    tid = b.tid()
+    word = b.imul(tid, WORD)
+    limit = b.ld(b.iadd(word, trips))
+    z = b.mov(0.1)
+    count = b.mov(0)
+    head = b.loop_begin()
+    z = b.ffma(z, z, 0.3, dst=z)
+    z = b.fmul(z, 0.9, dst=z)
+    count = b.iadd(count, 1, dst=count)
+    pred = b.setp_lt(count, limit)
+    b.loop_end(head, pred)
+    b.st(b.iadd(word, output), z)
+    b.exit()
+    memory = MemoryImage()
+    # Escape times are spatially correlated (points near the set iterate
+    # long, points far from it exit immediately): a gradient across the
+    # grid makes whole warps cheap or expensive, so warps are genuinely
+    # heterogeneous and representative-warp selection matters (Fig. 7).
+    memory.add_gradient_int_region(
+        trips, scale.n_threads * WORD, 1, max_iters * scale.iters,
+        waves=1.5, jitter=0.35, salt=7,
+    )
+    return b.build(scale.n_threads, scale.block_size), memory
+
+
+def blackscholes_like(
+    name: str,
+    scale: Scale,
+    suite: str = "synthetic",
+) -> KernelAndMemory:
+    """SFU-heavy option pricing: coalesced loads, exp/log/sqrt chain."""
+    layout = Layout()
+    spot = layout.array(scale.n_elements * WORD)
+    strike = layout.array(scale.n_elements * WORD)
+    call_out = layout.array(scale.n_elements * WORD)
+    put_out = layout.array(scale.n_elements * WORD)
+    b = KernelBuilder(name, suite)
+    with grid_stride(b, scale) as idx:
+        word = b.imul(idx, WORD)
+        s = b.ld(b.iadd(word, spot))
+        k = b.ld(b.iadd(word, strike))
+        ratio = b.fmul(s, b.frcp(b.fadd(k, 0.01)))
+        d1 = b.flog(ratio)
+        d1 = b.fadd(d1, 0.08, dst=d1)
+        vol = b.fsqrt(b.fabs(d1))
+        d2 = b.fsub(d1, vol)
+        nd1 = b.fexp(b.fneg(b.fmul(d1, d1)))
+        nd2 = b.fexp(b.fneg(b.fmul(d2, d2)))
+        call = b.fsub(b.fmul(s, nd1), b.fmul(k, nd2))
+        put = b.fsub(b.fmul(k, nd2), b.fmul(s, nd1))
+        b.st(b.iadd(word, call_out), call)
+        b.st(b.iadd(word, put_out), put)
+    b.exit()
+    return b.build(scale.n_threads, scale.block_size), MemoryImage()
+
+
+def nbody_tile(
+    name: str,
+    scale: Scale,
+    n_bodies: int = 16,
+    suite: str = "synthetic",
+) -> KernelAndMemory:
+    """Broadcast-load compute loop: all lanes read the same body position.
+
+    Broadcast loads coalesce to one request and hit the L1 after the
+    first pass — a compute-bound kernel with token memory traffic.
+    """
+    layout = Layout()
+    bodies = layout.array(n_bodies * scale.iters * WORD)
+    output = layout.array(scale.n_threads * WORD)
+    b = KernelBuilder(name, suite)
+    tid = b.tid()
+    accel = b.mov(0.0)
+    pos = b.fmul(tid, 0.001)
+    index = b.mov(0)
+    head = b.loop_begin()
+    body = b.ld(b.iadd(b.imul(index, WORD), bodies))
+    dist = b.fsub(body, pos)
+    dist2 = b.ffma(dist, dist, 0.01)
+    inv = b.frsqrt(dist2)
+    inv3 = b.fmul(b.fmul(inv, inv), inv)
+    accel = b.ffma(dist, inv3, accel, dst=accel)
+    index = b.iadd(index, 1, dst=index)
+    pred = b.setp_lt(index, n_bodies * scale.iters)
+    b.loop_end(head, pred)
+    b.st(b.iadd(b.imul(tid, WORD), output), accel)
+    b.exit()
+    memory = MemoryImage()
+    memory.add_linear_region(bodies, n_bodies * scale.iters * WORD, scale=0.25)
+    return b.build(scale.n_threads, scale.block_size), memory
+
+
+# ---------------------------------------------------------------------------
+# Gathers and irregular memory
+# ---------------------------------------------------------------------------
+
+
+def gather(
+    name: str,
+    scale: Scale,
+    table_words: int,
+    n_gathers: int = 4,
+    suite: str = "synthetic",
+) -> KernelAndMemory:
+    """Random gather through an index array.
+
+    ``table_words`` tunes the footprint: a table that fits in the L1
+    yields divergent-but-cached accesses (the ``invert_mapping`` load
+    pattern); a huge table defeats both caches and saturates MSHRs.
+    """
+    layout = Layout()
+    indices = layout.array(scale.n_elements * WORD * n_gathers)
+    table = layout.array(table_words * WORD)
+    output = layout.array(scale.n_elements * WORD)
+    b = KernelBuilder(name, suite)
+    with grid_stride(b, scale) as idx:
+        word = b.imul(idx, WORD)
+        acc = b.mov(0.0)
+        for g in range(n_gathers):
+            index = b.ld(b.iadd(word, indices + g * scale.n_elements * WORD))
+            addr = b.iadd(b.imul(index, WORD), table)
+            value = b.ld(addr)
+            acc = b.ffma(value, 1.1, acc)
+        b.st(b.iadd(word, output), acc)
+    b.exit()
+    memory = MemoryImage()
+    memory.add_uniform_int_region(
+        indices, scale.n_elements * WORD * n_gathers, 0, table_words, salt=13
+    )
+    return b.build(scale.n_threads, scale.block_size), memory
+
+
+def spmv_like(
+    name: str,
+    scale: Scale,
+    max_nnz: int = 8,
+    n_cols: int = 1 << 16,
+    suite: str = "synthetic",
+) -> KernelAndMemory:
+    """Sparse matrix-vector product: variable row lengths + gathers.
+
+    Control divergence from per-row nnz counts plus memory divergence
+    from column gathers — both axes at once, like graph workloads.
+    """
+    layout = Layout()
+    row_len = layout.array(scale.n_threads * WORD)
+    cols = layout.array(scale.n_threads * max_nnz * WORD)
+    values = layout.array(scale.n_threads * max_nnz * WORD)
+    vector = layout.array(n_cols * WORD)
+    output = layout.array(scale.n_threads * WORD)
+    b = KernelBuilder(name, suite)
+    tid = b.tid()
+    word = b.imul(tid, WORD)
+    nnz = b.ld(b.iadd(word, row_len))
+    base = b.imul(tid, max_nnz * WORD)
+    acc = b.mov(0.0)
+    k = b.mov(0)
+    head = b.loop_begin()
+    element = b.iadd(base, b.imul(k, WORD))
+    col = b.ld(b.iadd(element, cols))
+    val = b.ld(b.iadd(element, values))
+    x = b.ld(b.iadd(b.imul(col, WORD), vector))
+    acc = b.ffma(val, x, acc, dst=acc)
+    k = b.iadd(k, 1, dst=k)
+    pred = b.setp_lt(k, nnz)
+    b.loop_end(head, pred)
+    b.st(b.iadd(word, output), acc)
+    b.exit()
+    memory = MemoryImage()
+    # Row lengths follow the matrix structure (dense bands vs. sparse
+    # tails), so nearby rows — and hence whole warps — have correlated
+    # trip counts.
+    memory.add_gradient_int_region(
+        row_len, scale.n_threads * WORD, 1, max_nnz * scale.iters + 1,
+        waves=2.5, jitter=0.4, salt=3,
+    )
+    memory.add_uniform_int_region(
+        cols, scale.n_threads * max_nnz * WORD, 0, n_cols, salt=5
+    )
+    return b.build(scale.n_threads, scale.block_size), memory
+
+
+def bfs_like(
+    name: str,
+    scale: Scale,
+    max_degree: int = 6,
+    n_nodes: int = 1 << 18,
+    suite: str = "synthetic",
+) -> KernelAndMemory:
+    """Frontier expansion: visit a variable number of random neighbours.
+
+    Half the threads find their node unvisited (guarded by an ``if``) and
+    walk its adjacency list; edge targets are random gathers over a large
+    node array.  Strong control *and* memory divergence.
+    """
+    layout = Layout()
+    visited = layout.array(scale.n_threads * WORD)
+    degree = layout.array(scale.n_threads * WORD)
+    edges = layout.array(scale.n_threads * max_degree * scale.iters * WORD)
+    levels = layout.array(n_nodes * WORD)
+    b = KernelBuilder(name, suite)
+    tid = b.tid()
+    word = b.imul(tid, WORD)
+    is_active = b.ld(b.iadd(word, visited))
+    active_pred = b.setp_ne(is_active, 0)
+    with b.if_(active_pred):
+        deg = b.ld(b.iadd(word, degree))
+        base = b.imul(tid, max_degree * scale.iters * WORD)
+        k = b.mov(0)
+        head = b.loop_begin()
+        neighbor = b.ld(b.iadd(b.iadd(base, b.imul(k, WORD)), edges))
+        level_addr = b.iadd(b.imul(neighbor, WORD), levels)
+        level = b.ld(level_addr)
+        b.st(level_addr, b.fadd(level, 1.0))
+        k = b.iadd(k, 1, dst=k)
+        pred = b.setp_lt(k, deg)
+        b.loop_end(head, pred)
+    b.exit()
+    memory = MemoryImage(track_stores=False)
+    # Frontier membership is clustered in real BFS levels: some regions
+    # of the node array are dense (most warps fully active) and others
+    # are sparse (warps nearly idle) — inter-warp heterogeneity again.
+    memory.add_gradient_int_region(
+        visited, scale.n_threads * WORD, 0, 2, waves=1.0, jitter=0.5, salt=2
+    )
+    memory.add_gradient_int_region(
+        degree, scale.n_threads * WORD, 1, max_degree * scale.iters + 1,
+        waves=3.0, jitter=0.4, salt=11,
+    )
+    memory.add_uniform_int_region(
+        edges, scale.n_threads * max_degree * scale.iters * WORD, 0, n_nodes,
+        salt=17,
+    )
+    return b.build(scale.n_threads, scale.block_size), memory
+
+
+def histogram_like(
+    name: str,
+    scale: Scale,
+    n_bins: int = 4096,
+    n_samples: int = 4,
+    suite: str = "synthetic",
+) -> KernelAndMemory:
+    """Scatter read-modify-write into a bin array (no atomics modeled)."""
+    layout = Layout()
+    samples = layout.array(scale.n_elements * n_samples * WORD)
+    bins = layout.array(n_bins * WORD)
+    b = KernelBuilder(name, suite)
+    with grid_stride(b, scale) as idx:
+        for s in range(n_samples):
+            sample = b.ld(
+                b.iadd(b.imul(idx, WORD), samples + s * scale.n_elements * WORD)
+            )
+            bin_addr = b.iadd(b.imul(sample, WORD), bins)
+            count = b.ld(bin_addr)
+            b.st(bin_addr, b.fadd(count, 1.0))
+    b.exit()
+    memory = MemoryImage(track_stores=False)
+    memory.add_uniform_int_region(
+        samples, scale.n_elements * n_samples * WORD, 0, n_bins, salt=23
+    )
+    return b.build(scale.n_threads, scale.block_size), memory
+
+
+# ---------------------------------------------------------------------------
+# Stencils and cache-friendly kernels
+# ---------------------------------------------------------------------------
+
+
+def stencil_1d(
+    name: str,
+    scale: Scale,
+    radius: int = 2,
+    suite: str = "synthetic",
+) -> KernelAndMemory:
+    """1-D stencil: neighbouring threads share lines -> strong L1 reuse."""
+    layout = Layout()
+    grid = layout.array((scale.n_elements + 2 * radius) * WORD)
+    output = layout.array(scale.n_elements * WORD)
+    b = KernelBuilder(name, suite)
+    with grid_stride(b, scale) as idx:
+        center = b.iadd(b.imul(idx, WORD), grid + radius * WORD)
+        acc = b.mov(0.0)
+        for offset in range(-radius, radius + 1):
+            value = b.ld(center, offset=offset * WORD)
+            acc = b.ffma(value, 1.0 / (2 * radius + 1), acc)
+        b.st(b.iadd(b.imul(idx, WORD), output), acc)
+    b.exit()
+    return b.build(scale.n_threads, scale.block_size), MemoryImage()
+
+
+def stencil_2d(
+    name: str,
+    scale: Scale,
+    row_words: int = 256,
+    chain: int = 4,
+    strided_load_words: int = 0,
+    suite: str = "synthetic",
+) -> KernelAndMemory:
+    """2-D five-point stencil over a row-major grid (SRAD/hotspot shape).
+
+    North/south neighbours live one row away: coalesced per warp but a
+    different line per row, exercising L2 locality; a short FP chain
+    (the SRAD divergence computation) follows.  ``strided_load_words``
+    adds one load from a transposed coefficient array at that element
+    stride — SRAD-style divergent accesses.
+    """
+    layout = Layout()
+    n_cells = scale.n_elements + 2 * row_words
+    grid = layout.array(n_cells * WORD)
+    output = layout.array(scale.n_elements * WORD)
+    coeff = (
+        layout.array(scale.n_elements * strided_load_words * WORD)
+        if strided_load_words
+        else None
+    )
+    b = KernelBuilder(name, suite)
+    with grid_stride(b, scale) as idx:
+        center = b.iadd(b.imul(idx, WORD), grid + row_words * WORD)
+        c = b.ld(center)
+        n = b.ld(center, offset=-row_words * WORD)
+        s = b.ld(center, offset=row_words * WORD)
+        w = b.ld(center, offset=-WORD)
+        e = b.ld(center, offset=WORD)
+        lap = b.fadd(b.fadd(n, s), b.fadd(w, e))
+        lap = b.fsub(lap, b.fmul(c, 4.0), dst=lap)
+        g = b.fmul(lap, b.frcp(b.fadd(c, 0.01)))
+        if coeff is not None:
+            scale_val = b.ld(
+                b.iadd(b.imul(idx, strided_load_words * WORD), coeff)
+            )
+            g = b.ffma(g, scale_val, 0.0001, dst=g)
+        for _ in range(chain):
+            g = b.ffma(g, 0.9, 0.001, dst=g)
+        b.st(b.iadd(b.imul(idx, WORD), output), g)
+    b.exit()
+    return b.build(scale.n_threads, scale.block_size), MemoryImage()
+
+
+def matmul_tile(
+    name: str,
+    scale: Scale,
+    k_dim: int = 16,
+    suite: str = "synthetic",
+) -> KernelAndMemory:
+    """Inner-product loop: one coalesced row load + one broadcast load.
+
+    The broadcast column load hits the L1 after its first touch, so the
+    kernel mixes streaming traffic with cache-resident traffic.
+    """
+    layout = Layout()
+    a = layout.array(scale.n_threads * k_dim * scale.iters * WORD)
+    bmat = layout.array(k_dim * scale.iters * WORD)
+    c = layout.array(scale.n_threads * WORD)
+    b = KernelBuilder(name, suite)
+    tid = b.tid()
+    acc = b.mov(0.0)
+    k = b.mov(0)
+    row = b.imul(tid, WORD)
+    head = b.loop_begin()
+    a_val = b.ld(b.iadd(row, b.iadd(b.imul(k, scale.n_threads * WORD), a)))
+    b_val = b.ld(b.iadd(b.imul(k, WORD), bmat))
+    acc = b.ffma(a_val, b_val, acc, dst=acc)
+    k = b.iadd(k, 1, dst=k)
+    pred = b.setp_lt(k, k_dim * scale.iters)
+    b.loop_end(head, pred)
+    b.st(b.iadd(row, c), acc)
+    b.exit()
+    return b.build(scale.n_threads, scale.block_size), MemoryImage()
+
+
+def reduction_tree(
+    name: str,
+    scale: Scale,
+    suite: str = "synthetic",
+) -> KernelAndMemory:
+    """Tree reduction with halving active masks (structured divergence)."""
+    layout = Layout()
+    data = layout.array(scale.n_elements * WORD)
+    partial = layout.array(scale.n_elements * WORD)
+    b = KernelBuilder(name, suite)
+    lane = b.lane()
+    with grid_stride(b, scale) as idx:
+        word = b.imul(idx, WORD)
+        value = b.ld(b.iadd(word, data))
+        b.st(b.iadd(word, partial), value)
+        stride = 16
+        while stride >= 1:
+            pred = b.setp_lt(lane, stride)
+            with b.if_(pred):
+                other = b.ld(b.iadd(word, partial), offset=stride * WORD)
+                value = b.fadd(value, other, dst=value)
+                b.st(b.iadd(word, partial), value)
+            stride //= 2
+    b.exit()
+    return b.build(scale.n_threads, scale.block_size), MemoryImage(
+        track_stores=True
+    )
+
+
+def pathfinder_like(
+    name: str,
+    scale: Scale,
+    n_steps: int = 4,
+    suite: str = "synthetic",
+) -> KernelAndMemory:
+    """Row-wise dynamic programming with boundary divergence.
+
+    Each step loads three neighbours from the previous row (L1-shared),
+    takes the min, with edge lanes short-circuited by an ``if``.
+    """
+    layout = Layout()
+    rows = [
+        layout.array(scale.n_elements * WORD)
+        for _ in range(n_steps + 1)
+    ]
+    b = KernelBuilder(name, suite)
+    lane = b.lane()
+    edge = b.setp_gt(lane, 0)
+    with grid_stride(b, scale) as idx:
+        word = b.imul(idx, WORD)
+        best = b.ld(b.iadd(word, rows[0]))
+        for step in range(n_steps):
+            left = b.mov(best)
+            with b.if_(edge):
+                left_val = b.ld(b.iadd(word, rows[step]), offset=-WORD)
+                left = b.fmin(left, left_val, dst=left)
+            right = b.ld(b.iadd(word, rows[step]), offset=WORD)
+            best = b.fadd(b.fmin(left, right), 1.0, dst=best)
+            b.st(b.iadd(word, rows[step + 1]), best)
+    b.exit()
+    return b.build(scale.n_threads, scale.block_size), MemoryImage()
+
+
+# ---------------------------------------------------------------------------
+# Write-heavy / paper case-study analogues
+# ---------------------------------------------------------------------------
+
+
+def scatter_writes(
+    name: str,
+    scale: Scale,
+    n_stores: int = 4,
+    stride_bytes: int = LINE,
+    suite: str = "synthetic",
+) -> KernelAndMemory:
+    """Write-bound kernel: little compute, heavy divergent store traffic.
+
+    The ``sad`` analogue: store bandwidth dominates, and because stores
+    never occupy MSHRs only the DRAM-bandwidth model can see the
+    bottleneck.
+    """
+    layout = Layout()
+    src = layout.array(scale.n_elements * WORD)
+    outs = [
+        layout.array(scale.n_elements * stride_bytes) for _ in range(n_stores)
+    ]
+    b = KernelBuilder(name, suite)
+    with grid_stride(b, scale) as idx:
+        value = b.ld(b.iadd(b.imul(idx, WORD), src))
+        offset = b.imul(idx, stride_bytes)
+        for out in outs:
+            value = b.ffma(value, 1.01, 0.5, dst=value)
+            b.st(b.iadd(offset, out), value)
+    b.exit()
+    return b.build(scale.n_threads, scale.block_size), MemoryImage(
+        track_stores=False
+    )
+
+
+def invert_mapping_like(
+    name: str,
+    scale: Scale,
+    n_features: int = 8,
+    table_words: int = 2048,
+    suite: str = "synthetic",
+) -> KernelAndMemory:
+    """The ``kmeans_invert_mapping`` analogue (Sec. VII case study).
+
+    Loads gather from a small, L1-resident table (high hit rate, so the
+    MSHR file stays quiet despite 32-way divergence) while the stores
+    scatter column-major across a huge array — pure DRAM write bandwidth
+    pressure that only the QUEUE model captures.
+    """
+    layout = Layout()
+    indices = layout.array(scale.n_elements * WORD)
+    table = layout.array(table_words * WORD)
+    output = layout.array(scale.n_elements * n_features * LINE)
+    b = KernelBuilder(name, suite)
+    with grid_stride(b, scale) as idx:
+        word = b.imul(idx, WORD)
+        index = b.ld(b.iadd(word, indices))
+        col = b.imul(idx, n_features * LINE)
+        for feature in range(n_features):
+            value = b.ld(
+                b.iadd(b.imul(index, WORD), table), offset=feature * WORD
+            )
+            value = b.ffma(value, 0.5, float(feature))
+            b.st(b.iadd(col, output), value, offset=feature * LINE)
+    b.exit()
+    memory = MemoryImage(track_stores=False)
+    memory.add_uniform_int_region(
+        indices, scale.n_elements * WORD, 0, table_words - n_features, salt=29
+    )
+    return b.build(scale.n_threads, scale.block_size), memory
+
+
+def matmul_smem_tiled(
+    name: str,
+    scale: Scale,
+    k_dim: int = 16,
+    conflict_stride_words: int = 1,
+    suite: str = "synthetic",
+) -> KernelAndMemory:
+    """Shared-memory-tiled inner product (extension workload).
+
+    Each iteration stages a tile element through the scratchpad before
+    the FMA, the classic smem-tiled GEMM structure.  The scratchpad
+    layout stride controls bank behaviour: 1 word is conflict-free,
+    32 words puts every lane on the same bank (32-way conflicts) — the
+    padding-vs-no-padding optimisation this kernel family is known for.
+    """
+    layout = Layout()
+    a = layout.array(scale.n_threads * k_dim * scale.iters * WORD)
+    c = layout.array(scale.n_threads * WORD)
+    b = KernelBuilder(name, suite)
+    tid = b.tid()
+    lane = b.lane()
+    slot = b.imul(lane, conflict_stride_words * WORD)
+    acc = b.mov(0.0)
+    k = b.mov(0)
+    row = b.imul(tid, WORD)
+    head = b.loop_begin()
+    a_val = b.ld(b.iadd(row, b.iadd(b.imul(k, scale.n_threads * WORD), a)))
+    b.sts(slot, a_val)  # stage the tile element
+    staged = b.lds(slot)
+    acc = b.ffma(staged, 1.25, acc, dst=acc)
+    k = b.iadd(k, 1, dst=k)
+    pred = b.setp_lt(k, k_dim * scale.iters)
+    b.loop_end(head, pred)
+    b.st(b.iadd(row, c), acc)
+    b.exit()
+    return b.build(scale.n_threads, scale.block_size), MemoryImage()
+
+
+def cfd_step_factor_like(
+    name: str,
+    scale: Scale,
+    suite: str = "rodinia",
+) -> KernelAndMemory:
+    """``cfd_step_factor`` analogue: fully coalesced, DRAM-streaming.
+
+    Three coalesced loads (density, momentum, energy), a reciprocal-
+    square-root step computation, one coalesced store — no locality, no
+    divergence (Sec. VII: 'a coalesced kernel with no divergent
+    accesses').
+    """
+    layout = Layout()
+    density = layout.array(scale.n_elements * WORD)
+    momentum = layout.array(scale.n_elements * WORD)
+    energy = layout.array(scale.n_elements * WORD)
+    step_out = layout.array(scale.n_elements * WORD)
+    b = KernelBuilder(name, suite)
+    with grid_stride(b, scale) as idx:
+        word = b.imul(idx, WORD)
+        rho = b.ld(b.iadd(word, density))
+        mom = b.ld(b.iadd(word, momentum))
+        ene = b.ld(b.iadd(word, energy))
+        vel = b.fmul(mom, b.frcp(b.fadd(rho, 0.01)))
+        pressure = b.fmul(b.fsub(ene, b.fmul(vel, mom)), 0.4)
+        speed = b.fsqrt(b.fabs(b.fmul(pressure, b.frcp(b.fadd(rho, 0.01)))))
+        factor = b.fmul(b.frcp(b.fadd(b.fabs(vel), speed)), 0.5)
+        b.st(b.iadd(word, step_out), factor)
+    b.exit()
+    return b.build(scale.n_threads, scale.block_size), MemoryImage()
+
+
+def cfd_compute_flux_like(
+    name: str,
+    scale: Scale,
+    max_offset: int = 512,
+    suite: str = "rodinia",
+) -> KernelAndMemory:
+    """``cfd_compute_flux`` analogue: medium divergence, L2 locality.
+
+    Four neighbour gathers within a +-``max_offset``-element window (up
+    to ~16 distinct lines per warp) feed a flux computation — 'some
+    memory instructions have up to 16 diverged requests', working set
+    larger than L1 but L2-effective.
+    """
+    layout = Layout()
+    neighbors = layout.array(scale.n_elements * 4 * WORD)
+    state = layout.array((scale.n_elements + 2 * max_offset) * WORD)
+    flux_out = layout.array(scale.n_elements * WORD)
+    b = KernelBuilder(name, suite)
+    with grid_stride(b, scale) as idx:
+        word = b.imul(idx, WORD)
+        acc = b.mov(0.0)
+        for n in range(4):
+            nb = b.ld(b.iadd(word, neighbors + n * scale.n_elements * WORD))
+            pos = b.iadd(idx, nb)
+            value = b.ld(
+                b.iadd(b.imul(pos, WORD), state + max_offset * WORD)
+            )
+            diff = b.fsub(value, acc)
+            acc = b.ffma(diff, 0.25, acc, dst=acc)
+        vel = b.fmul(acc, 1.3)
+        flux = b.ffma(vel, vel, acc)
+        b.st(b.iadd(word, flux_out), flux)
+    b.exit()
+    memory = MemoryImage()
+    memory.add_uniform_int_region(
+        neighbors,
+        scale.n_elements * 4 * WORD,
+        -max_offset,
+        max_offset,
+        salt=31,
+    )
+    return b.build(scale.n_threads, scale.block_size), memory

@@ -1,0 +1,332 @@
+"""The 40-kernel evaluation suite (paper Sec. VI-A).
+
+Each entry names a kernel after its closest Rodinia / Parboil / NVIDIA-SDK
+inspiration and binds a generator with fixed parameters.  Tags classify
+kernels along the behavioural axes the experiments select on:
+
+``coalesced``
+    Unit-stride traffic, one request per memory instruction.
+``compute``
+    Arithmetic-dominated; memory is incidental.
+``control_divergent``
+    Data-dependent branches/loops that split warps (the Fig. 7 subset).
+``divergent``
+    Memory divergence: > 1 coalesced request per memory instruction.
+``write_heavy``
+    Store traffic dominates (the DRAM-bandwidth-model subset).
+``cache_friendly``
+    Significant L1/L2 reuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.isa.kernel import Kernel
+from repro.trace.memory_image import MemoryImage
+from repro.workloads import generators as g
+from repro.workloads.generators import Scale
+
+GeneratorFn = Callable[[str, Scale], Tuple[Kernel, MemoryImage]]
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """A named, fully parameterised kernel of the suite."""
+
+    name: str
+    suite: str
+    tags: FrozenSet[str]
+    description: str
+    _factory: Callable[[Scale], Tuple[Kernel, MemoryImage]]
+
+    def build(self, scale: Optional[Scale] = None) -> Tuple[Kernel, MemoryImage]:
+        """Instantiate the kernel (default scale: :meth:`Scale.small`)."""
+        return self._factory(scale if scale is not None else Scale.small())
+
+
+def _spec(name, suite, tags, description, factory) -> KernelSpec:
+    return KernelSpec(
+        name=name,
+        suite=suite,
+        tags=frozenset(tags),
+        description=description,
+        _factory=factory,
+    )
+
+
+def _build_suite() -> Dict[str, KernelSpec]:
+    specs: List[KernelSpec] = [
+        # -- Coalesced streaming ------------------------------------------------
+        _spec(
+            "vectoradd", "sdk", {"coalesced"},
+            "two coalesced loads, one add, one store",
+            lambda s: g.streaming("vectoradd", s, n_arrays=2, chain=0,
+                                  suite="sdk"),
+        ),
+        _spec(
+            "saxpy", "sdk", {"coalesced"},
+            "y = a*x + y with a short FP tail",
+            lambda s: g.streaming("saxpy", s, n_arrays=2, chain=2, suite="sdk"),
+        ),
+        _spec(
+            "lbm_stream", "parboil", {"coalesced"},
+            "lattice-Boltzmann-like 8-array streaming",
+            lambda s: g.streaming("lbm_stream", s, n_arrays=8, chain=2,
+                                  suite="parboil"),
+        ),
+        _spec(
+            "backprop_adjust", "rodinia", {"coalesced"},
+            "weight adjustment: three streams and an FP chain",
+            lambda s: g.streaming("backprop_adjust", s, n_arrays=3, chain=4,
+                                  suite="rodinia"),
+        ),
+        _spec(
+            "cfd_step_factor", "rodinia", {"coalesced"},
+            "Sec. VII case study: coalesced, DRAM-streaming, no locality",
+            lambda s: g.cfd_step_factor_like("cfd_step_factor", s),
+        ),
+        # -- Compute-bound ------------------------------------------------------
+        _spec(
+            "blackscholes", "sdk", {"compute", "coalesced"},
+            "SFU-heavy option pricing on coalesced streams",
+            lambda s: g.blackscholes_like("blackscholes", s, suite="sdk"),
+        ),
+        _spec(
+            "binomial_options", "sdk", {"compute"},
+            "long FFMA chains with ILP 2",
+            lambda s: g.compute_chain("binomial_options", s, chain=48, ilp=2,
+                                      suite="sdk"),
+        ),
+        _spec(
+            "quasirandom", "sdk", {"compute"},
+            "four independent FFMA streams (issue-bound)",
+            lambda s: g.compute_chain("quasirandom", s, chain=32, ilp=4,
+                                      suite="sdk"),
+        ),
+        _spec(
+            "leukocyte_find", "rodinia", {"compute"},
+            "dependent SFU/FP chain (latency-bound)",
+            lambda s: g.compute_chain("leukocyte_find", s, chain=24, ilp=1,
+                                      use_sfu=True, suite="rodinia"),
+        ),
+        _spec(
+            "lavamd_force", "rodinia", {"compute", "cache_friendly"},
+            "n-body force loop over broadcast-resident particles",
+            lambda s: g.nbody_tile("lavamd_force", s, n_bodies=16,
+                                   suite="rodinia"),
+        ),
+        _spec(
+            "mri_q", "parboil", {"compute", "cache_friendly"},
+            "Q-matrix loop: broadcast loads + FP recurrence",
+            lambda s: g.nbody_tile("mri_q", s, n_bodies=24, suite="parboil"),
+        ),
+        # -- Control-divergent ---------------------------------------------------
+        _spec(
+            "mandelbrot", "sdk", {"compute", "control_divergent"},
+            "escape-time loop with per-lane trip counts",
+            lambda s: g.mandelbrot_like("mandelbrot", s, max_iters=24,
+                                        suite="sdk"),
+        ),
+        _spec(
+            "bfs_kernel1", "rodinia", {"control_divergent", "divergent"},
+            "frontier expansion: half-active warps, random gathers",
+            lambda s: g.bfs_like("bfs_kernel1", s, max_degree=6,
+                                 suite="rodinia"),
+        ),
+        _spec(
+            "bfs_parboil", "parboil", {"control_divergent", "divergent"},
+            "deeper adjacency walk over a larger graph",
+            lambda s: g.bfs_like("bfs_parboil", s, max_degree=8,
+                                 n_nodes=1 << 20, suite="parboil"),
+        ),
+        _spec(
+            "spmv_jds", "parboil", {"control_divergent", "divergent"},
+            "sparse MxV: variable row lengths + column gathers",
+            lambda s: g.spmv_like("spmv_jds", s, max_nnz=8, suite="parboil"),
+        ),
+        _spec(
+            "reduction_k1", "sdk", {"control_divergent", "cache_friendly"},
+            "tree reduction with halving active masks",
+            lambda s: g.reduction_tree("reduction_k1", s, suite="sdk"),
+        ),
+        _spec(
+            "lud_perimeter", "rodinia", {"control_divergent", "cache_friendly"},
+            "row-sweep with boundary-lane predicates",
+            lambda s: g.pathfinder_like("lud_perimeter", s, n_steps=6,
+                                        suite="rodinia"),
+        ),
+        _spec(
+            "pathfinder_dynproc", "rodinia",
+            {"control_divergent", "cache_friendly"},
+            "dynamic-programming row relaxation",
+            lambda s: g.pathfinder_like("pathfinder_dynproc", s, n_steps=4,
+                                        suite="rodinia"),
+        ),
+        # -- Memory-divergent -----------------------------------------------------
+        _spec(
+            "strided_deg4", "micro", {"divergent"},
+            "16-byte stride: 4 requests per load",
+            lambda s: g.strided("strided_deg4", s, stride_bytes=16,
+                                suite="micro"),
+        ),
+        _spec(
+            "strided_deg8", "micro", {"divergent"},
+            "32-byte stride: 8 requests per load",
+            lambda s: g.strided("strided_deg8", s, stride_bytes=32,
+                                suite="micro"),
+        ),
+        _spec(
+            "strided_deg16", "micro", {"divergent"},
+            "64-byte stride: 16 requests per load",
+            lambda s: g.strided("strided_deg16", s, stride_bytes=64,
+                                suite="micro"),
+        ),
+        _spec(
+            "strided_deg32", "micro", {"divergent"},
+            "128-byte stride: fully diverged loads",
+            lambda s: g.strided("strided_deg32", s, stride_bytes=128,
+                                suite="micro"),
+        ),
+        _spec(
+            "kmeans_point", "rodinia", {"divergent"},
+            "random gathers over a DRAM-resident table",
+            lambda s: g.gather("kmeans_point", s, table_words=1 << 20,
+                               n_gathers=4, suite="rodinia"),
+        ),
+        _spec(
+            "tpacf_gen", "parboil", {"divergent"},
+            "six-deep random gathers (angular correlation)",
+            lambda s: g.gather("tpacf_gen", s, table_words=1 << 18,
+                               n_gathers=6, suite="parboil"),
+        ),
+        _spec(
+            "streamcluster_dist", "rodinia", {"divergent", "cache_friendly"},
+            "gathers over an L2-resident working set",
+            lambda s: g.gather("streamcluster_dist", s, table_words=1 << 14,
+                               n_gathers=4, suite="rodinia"),
+        ),
+        _spec(
+            "mri_gridding", "parboil", {"divergent", "write_heavy"},
+            "scatter accumulation onto a large grid",
+            lambda s: g.histogram_like("mri_gridding", s, n_bins=1 << 15,
+                                       n_samples=4, suite="parboil"),
+        ),
+        _spec(
+            "histo_main", "parboil",
+            {"divergent", "write_heavy", "cache_friendly"},
+            "histogram over a small contended bin array",
+            lambda s: g.histogram_like("histo_main", s, n_bins=4096,
+                                       n_samples=6, suite="parboil"),
+        ),
+        _spec(
+            "cfd_compute_flux", "rodinia", {"divergent", "cache_friendly"},
+            "Sec. VII case study: medium divergence, L2-effective",
+            lambda s: g.cfd_compute_flux_like("cfd_compute_flux", s),
+        ),
+        # -- Write-heavy -----------------------------------------------------------
+        _spec(
+            "sad_calc_8", "parboil", {"write_heavy", "divergent"},
+            "four divergent stores per thread (SAD write traffic)",
+            lambda s: g.scatter_writes("sad_calc_8", s, n_stores=4,
+                                       stride_bytes=128, suite="parboil"),
+        ),
+        _spec(
+            "sad_calc_16", "parboil", {"write_heavy", "divergent"},
+            "eight divergent stores per thread",
+            lambda s: g.scatter_writes("sad_calc_16", s, n_stores=8,
+                                       stride_bytes=128, suite="parboil"),
+        ),
+        _spec(
+            "transpose_naive", "sdk", {"write_heavy", "divergent"},
+            "coalesced reads, column-major scatter writes",
+            lambda s: g.transpose_scatter("transpose_naive", s, suite="sdk"),
+        ),
+        _spec(
+            "kmeans_invert_mapping", "rodinia",
+            {"write_heavy", "divergent", "cache_friendly"},
+            "Sec. VII case study: L1-hit gathers + divergent store scatter",
+            lambda s: g.invert_mapping_like("kmeans_invert_mapping", s),
+        ),
+        # -- Stencils / cache-friendly ----------------------------------------------
+        _spec(
+            "convolution_sep", "sdk", {"cache_friendly", "coalesced"},
+            "1-D convolution, radius 3 (heavy L1 reuse)",
+            lambda s: g.stencil_1d("convolution_sep", s, radius=3,
+                                   suite="sdk"),
+        ),
+        _spec(
+            "heartwall_track", "rodinia", {"cache_friendly"},
+            "1-D template correlation, radius 5",
+            lambda s: g.stencil_1d("heartwall_track", s, radius=5,
+                                   suite="rodinia"),
+        ),
+        _spec(
+            "srad_kernel1", "rodinia", {"cache_friendly", "divergent"},
+            "SRAD diffusion stencil with a divergent coefficient gather",
+            lambda s: g.stencil_2d("srad_kernel1", s, row_words=256, chain=6,
+                                   strided_load_words=16, suite="rodinia"),
+        ),
+        _spec(
+            "srad_kernel2", "rodinia", {"cache_friendly"},
+            "SRAD update stencil over wider rows",
+            lambda s: g.stencil_2d("srad_kernel2", s, row_words=512, chain=2,
+                                   suite="rodinia"),
+        ),
+        _spec(
+            "hotspot_calc", "rodinia", {"cache_friendly"},
+            "thermal 5-point stencil, narrow rows",
+            lambda s: g.stencil_2d("hotspot_calc", s, row_words=128, chain=4,
+                                   suite="rodinia"),
+        ),
+        _spec(
+            "stencil_parboil", "parboil", set(),
+            "7-point-style stencil over very wide rows (poor locality)",
+            lambda s: g.stencil_2d("stencil_parboil", s, row_words=1024,
+                                   chain=1, suite="parboil"),
+        ),
+        _spec(
+            "sgemm_tile", "parboil", {"cache_friendly"},
+            "inner-product loop, K=32, broadcast B column",
+            lambda s: g.matmul_tile("sgemm_tile", s, k_dim=32,
+                                    suite="parboil"),
+        ),
+        _spec(
+            "matrixmul_sdk", "sdk", {"cache_friendly"},
+            "inner-product loop, K=16",
+            lambda s: g.matmul_tile("matrixmul_sdk", s, k_dim=16,
+                                    suite="sdk"),
+        ),
+    ]
+    table = {spec.name: spec for spec in specs}
+    if len(table) != len(specs):
+        raise RuntimeError("duplicate kernel names in suite")
+    return table
+
+
+#: All kernels of the evaluation suite, keyed by name.
+SUITE: Dict[str, KernelSpec] = _build_suite()
+
+
+def kernel_names() -> List[str]:
+    """All suite kernel names, sorted."""
+    return sorted(SUITE)
+
+
+def kernels_with_tag(tag: str) -> List[str]:
+    """Names of kernels carrying ``tag`` (sorted)."""
+    return sorted(name for name, spec in SUITE.items() if tag in spec.tags)
+
+
+def get_kernel(
+    name: str, scale: Optional[Scale] = None
+) -> Tuple[Kernel, MemoryImage]:
+    """Instantiate a suite kernel by name."""
+    try:
+        spec = SUITE[name]
+    except KeyError:
+        raise KeyError(
+            "unknown kernel %r; available: %s" % (name, ", ".join(kernel_names()))
+        ) from None
+    return spec.build(scale)

@@ -1,0 +1,84 @@
+"""Tests for the warp-alignment signal behind the blended RR model."""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.core.model import GPUMech
+from repro.core.multithreading import kernel_alignment
+from repro.isa import KernelBuilder
+from repro.memory.cache_simulator import PCStats
+from repro.memory.hierarchy import MissEvent
+
+
+class TestCrossWarpCollision:
+    def stats_with(self, occurrences):
+        stats = PCStats(pc=0, is_store=False)
+        stats.n_insts = 1  # non-zero so consumers don't skip it
+        stats.occurrence_events = occurrences
+        return stats
+
+    def test_full_agreement(self):
+        stats = self.stats_with([{MissEvent.L2_MISS: 8}] * 3)
+        assert stats.cross_warp_collision() == 1.0
+
+    def test_half_split(self):
+        stats = self.stats_with([
+            {MissEvent.L1_HIT: 4, MissEvent.L2_MISS: 4},
+        ])
+        assert stats.cross_warp_collision() == pytest.approx(0.5)
+
+    def test_single_warp_occurrences_skipped(self):
+        stats = self.stats_with([
+            {MissEvent.L1_HIT: 1},  # only one warp reached it: no signal
+        ])
+        assert stats.cross_warp_collision() == 1.0
+
+    def test_weighted_by_warp_count(self):
+        stats = self.stats_with([
+            {MissEvent.L2_MISS: 8},                      # agree, weight 8
+            {MissEvent.L1_HIT: 1, MissEvent.L2_MISS: 1},  # split, weight 2
+        ])
+        expected = (1.0 * 8 + 0.5 * 2) / 10
+        assert stats.cross_warp_collision() == pytest.approx(expected)
+
+    def test_empty(self):
+        assert self.stats_with([]).cross_warp_collision() == 1.0
+
+
+class TestKernelAlignment:
+    def prepare(self, build_fn, n_threads=256, block_size=64):
+        config = GPUConfig.small(n_cores=1, warps_per_core=8)
+        b = KernelBuilder("k")
+        build_fn(b)
+        b.exit()
+        kernel = b.build(n_threads=n_threads, block_size=block_size)
+        model = GPUMech(config)
+        inputs = model.prepare(kernel)
+        rep = inputs.trace.warps[inputs.selection.index]
+        return kernel_alignment(rep, inputs.latency_table)
+
+    def test_streaming_kernel_fully_aligned(self):
+        """Every warp misses its own line identically: lockstep holds."""
+
+        def build(b):
+            addr = b.iadd(b.imul(b.tid(), 4), 0x100000)
+            b.fadd(b.ld(addr), 1.0)
+
+        assert self.prepare(build) == pytest.approx(1.0)
+
+    def test_first_toucher_sharing_lowers_alignment(self):
+        """All warps load the same line: one misses, the rest hit."""
+
+        def build(b):
+            b.fadd(b.ld(b.mov(0x100000)), 1.0)
+
+        alignment = self.prepare(build)
+        assert alignment < 1.0
+
+    def test_compute_only_kernel_aligned(self):
+        def build(b):
+            acc = b.mov(1.0)
+            for _ in range(4):
+                acc = b.fmul(acc, 1.5, dst=acc)
+
+        assert self.prepare(build) == pytest.approx(1.0)

@@ -1,0 +1,77 @@
+"""Tests for the workload-characterization module."""
+
+import pytest
+
+from repro.analysis import characterize, render_characterization, suite_report
+from repro.config import GPUConfig
+from repro.trace import emulate
+from repro.workloads import Scale, get_kernel
+
+from tests.conftest import build_divergent_load, build_fp_chain, build_saxpy
+
+CONFIG = GPUConfig.small()
+
+
+def char_of(kernel, memory=None):
+    return characterize(emulate(kernel, CONFIG, memory=memory))
+
+
+class TestCharacterize:
+    def test_basic_counts(self):
+        char = char_of(build_saxpy(n_threads=128, block_size=64))
+        assert char.n_warps == 4
+        assert char.total_insts > 0
+        assert char.insts_per_warp_mean == char.total_insts / 4
+        assert char.insts_per_warp_cv == 0.0  # homogeneous warps
+
+    def test_mix_sums_to_one(self):
+        char = char_of(build_saxpy())
+        assert sum(char.mix.values()) == pytest.approx(1.0)
+        assert char.mix["LOAD"] > 0 and char.mix["STORE"] > 0
+
+    def test_compute_kernel_has_no_memory(self):
+        char = char_of(build_fp_chain())
+        assert char.loads_per_inst == 0.0
+        assert char.mean_divergence == 0.0
+        assert char.footprint_lines == 0
+        assert not char.is_memory_divergent
+
+    def test_divergence_metrics(self):
+        char = char_of(build_divergent_load(n_threads=64, block_size=64))
+        assert char.max_divergence == 32
+        assert char.is_memory_divergent
+        assert char.divergence_histogram[32] > 0
+
+    def test_write_fraction(self):
+        char = char_of(build_divergent_load())
+        # One divergent load + one divergent store per thread.
+        assert char.write_request_fraction == pytest.approx(0.5)
+
+    def test_control_divergence_detected(self):
+        kernel, memory = get_kernel("mandelbrot", Scale.tiny())
+        char = char_of(kernel, memory)
+        assert char.is_control_divergent
+        assert char.masked_inst_fraction > 0.1
+        assert char.mean_active_lanes < 32
+
+    def test_footprint_counts_distinct_lines(self):
+        char = char_of(build_saxpy(n_threads=64, block_size=64))
+        # 2 warps x 3 arrays, one line each: 6 distinct lines.
+        assert char.footprint_lines == 6
+
+
+class TestRendering:
+    def test_render_mentions_key_metrics(self):
+        char = char_of(build_divergent_load())
+        text = render_characterization(char)
+        assert "divergence" in text
+        assert "memory-divergent" in text
+        assert char.kernel_name in text
+
+    def test_suite_report_subset(self):
+        text = suite_report(
+            scale=Scale.tiny(), kernels=["vectoradd", "strided_deg32"],
+            config=CONFIG,
+        )
+        assert "vectoradd" in text and "strided_deg32" in text
+        assert "mean div" in text

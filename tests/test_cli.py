@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_predict_args(self):
+        args = build_parser().parse_args(
+            ["predict", "vectoradd", "--cores", "4", "--scale", "tiny",
+             "--scheduler", "gto", "--strategy", "max"]
+        )
+        assert args.command == "predict"
+        assert args.kernel == "vectoradd"
+        assert args.cores == 4
+        assert args.scheduler == "gto"
+        assert args.strategy == "max"
+
+    def test_experiment_name_restricted(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "figure99"])
+
+    def test_invalid_scheduler(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "saxpy",
+                                       "--scheduler", "fifo"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "vectoradd" in out
+        assert "40 kernels" in out
+
+    def test_predict(self, capsys):
+        assert main(["predict", "vectoradd", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "CPI" in out and "BASE" in out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "vectoradd", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "vectoradd" in out and "CPI" in out
+
+    def test_validate(self, capsys):
+        assert main(
+            ["validate", "strided_deg8", "--scale", "tiny", "--warps", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Naive_Interval" in out
+        assert "oracle" in out
+
+    def test_predict_with_machine_overrides(self, capsys):
+        assert main(
+            ["predict", "strided_deg8", "--scale", "tiny", "--mshrs", "64",
+             "--bandwidth", "96", "--warps", "4"]
+        ) == 0
+        assert "CPI" in capsys.readouterr().out

@@ -1,0 +1,95 @@
+"""Unit and property tests for memory-access coalescing."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.trace.coalescer import coalesce, divergence_degree
+
+
+class TestCoalesce:
+    def test_unit_stride_coalesces_to_one_line(self):
+        addrs = np.arange(32, dtype=np.int64) * 4 + 0x1000
+        assert len(coalesce(addrs, 128)) == 1
+
+    def test_line_stride_fully_diverges(self):
+        addrs = np.arange(32, dtype=np.int64) * 128
+        assert len(coalesce(addrs, 128)) == 32
+
+    def test_two_lines(self):
+        addrs = np.array([0, 4, 127, 128, 200], dtype=np.int64)
+        lines = coalesce(addrs, 128)
+        assert list(lines) == [0, 128]
+
+    def test_returns_line_base_addresses(self):
+        lines = coalesce(np.array([130, 140], dtype=np.int64), 128)
+        assert list(lines) == [128]
+
+    def test_empty_input(self):
+        assert len(coalesce(np.empty(0, dtype=np.int64), 128)) == 0
+
+    def test_duplicates_merge(self):
+        addrs = np.array([64, 64, 64], dtype=np.int64)
+        assert len(coalesce(addrs, 128)) == 1
+
+    @pytest.mark.parametrize("bad", [0, 100, -128])
+    def test_line_size_must_be_power_of_two(self, bad):
+        with pytest.raises(ValueError):
+            coalesce(np.array([0], dtype=np.int64), bad)
+
+    @pytest.mark.parametrize(
+        "stride,expected",
+        [(4, 1), (8, 2), (16, 4), (32, 8), (64, 16), (128, 32), (256, 32)],
+    )
+    def test_divergence_degree_vs_stride(self, stride, expected):
+        addrs = np.arange(32, dtype=np.int64) * stride
+        assert divergence_degree(addrs, 128) == expected
+
+
+class TestCoalesceProperties:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2 ** 40), min_size=1,
+                 max_size=64),
+        st.sampled_from([32, 64, 128, 256]),
+    )
+    def test_degree_bounded_by_lane_count(self, addrs, line_size):
+        arr = np.asarray(addrs, dtype=np.int64)
+        degree = divergence_degree(arr, line_size)
+        assert 1 <= degree <= len(addrs)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2 ** 40), min_size=1,
+                 max_size=64)
+    )
+    def test_lines_are_aligned_sorted_unique(self, addrs):
+        lines = coalesce(np.asarray(addrs, dtype=np.int64), 128)
+        assert all(line % 128 == 0 for line in lines)
+        assert list(lines) == sorted(set(lines.tolist()))
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2 ** 40), min_size=1,
+                 max_size=64)
+    )
+    def test_every_address_covered(self, addrs):
+        arr = np.asarray(addrs, dtype=np.int64)
+        lines = set(coalesce(arr, 128).tolist())
+        assert all((a // 128) * 128 in lines for a in addrs)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2 ** 30), min_size=1,
+                 max_size=32)
+    )
+    def test_idempotent(self, addrs):
+        arr = np.asarray(addrs, dtype=np.int64)
+        once = coalesce(arr, 128)
+        twice = coalesce(once, 128)
+        assert list(once) == list(twice)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2 ** 30), min_size=1,
+                 max_size=32)
+    )
+    def test_coarser_lines_never_increase_degree(self, addrs):
+        arr = np.asarray(addrs, dtype=np.int64)
+        assert divergence_degree(arr, 256) <= divergence_degree(arr, 128)

@@ -1,0 +1,102 @@
+"""Unit tests for the machine configuration (Table I)."""
+
+import pytest
+
+from repro.config import ConfigError, GPUConfig
+
+
+class TestDefaults:
+    def test_paper_baseline_matches_table1(self):
+        cfg = GPUConfig.paper_baseline()
+        assert cfg.n_cores == 16
+        assert cfg.warp_size == 32
+        assert cfg.max_warps_per_core == 32
+        assert cfg.issue_width == 1
+        assert cfg.l1_size == 32 * 1024
+        assert cfg.l1_latency == 25
+        assert cfg.l2_size == 768 * 1024
+        assert cfg.l2_latency == 120
+        assert cfg.n_mshrs == 32
+        assert cfg.dram_latency == 300
+        assert cfg.dram_bandwidth_gbps == 192.0
+        assert cfg.line_size == 128
+        assert cfg.op_latencies["falu"] == 25
+
+    def test_small_preset(self):
+        cfg = GPUConfig.small(n_cores=2, warps_per_core=8)
+        assert cfg.n_cores == 2
+        assert cfg.max_warps_per_core == 8
+
+
+class TestDerived:
+    def test_dram_service_cycles_eq22(self):
+        cfg = GPUConfig()
+        # s = freq * L / B = 1 GHz * 128 B / 192 GB/s = 2/3 cycle
+        assert cfg.dram_service_cycles == pytest.approx(128.0 / 192.0)
+
+    def test_dram_service_scales_with_clock(self):
+        slow = GPUConfig().with_(core_clock_ghz=2.0)
+        assert slow.dram_service_cycles == pytest.approx(2 * 128.0 / 192.0)
+
+    def test_l2_miss_latency_is_additive(self):
+        cfg = GPUConfig()
+        assert cfg.l2_miss_latency == 120 + 300
+
+    def test_miss_event_latency(self):
+        cfg = GPUConfig()
+        assert cfg.miss_event_latency("l1_hit") == 25
+        assert cfg.miss_event_latency("l2_hit") == 120
+        assert cfg.miss_event_latency("l2_miss") == 420
+
+    def test_miss_event_latency_rejects_unknown(self):
+        with pytest.raises(ConfigError):
+            GPUConfig().miss_event_latency("l3_hit")
+
+    def test_issue_rate(self):
+        assert GPUConfig().issue_rate == 1.0
+
+
+class TestWith:
+    def test_with_returns_modified_copy(self):
+        base = GPUConfig()
+        swept = base.with_(n_mshrs=64)
+        assert swept.n_mshrs == 64
+        assert base.n_mshrs == 32
+
+    def test_with_revalidates(self):
+        with pytest.raises(ConfigError):
+            GPUConfig().with_(n_mshrs=0)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("n_cores", 0),
+            ("warp_size", 0),
+            ("scheduler", "fifo"),
+            ("issue_width", 2),
+            ("n_mshrs", 0),
+            ("dram_bandwidth_gbps", 0.0),
+            ("core_clock_ghz", -1.0),
+        ],
+    )
+    def test_invalid_fields_rejected(self, field, value):
+        with pytest.raises(ConfigError):
+            GPUConfig(**{field: value})
+
+    def test_max_threads_must_be_warp_multiple(self):
+        with pytest.raises(ConfigError):
+            GPUConfig(max_threads_per_core=1000)
+
+    def test_cache_geometry_must_divide(self):
+        with pytest.raises(ConfigError):
+            GPUConfig(l1_size=1000)
+
+    def test_simt_width_must_equal_warp_size(self):
+        with pytest.raises(ConfigError):
+            GPUConfig(simt_width=16)
+
+    def test_missing_op_latency_class(self):
+        with pytest.raises(ConfigError):
+            GPUConfig(op_latencies={"ialu": 4})

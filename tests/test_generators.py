@@ -1,0 +1,118 @@
+"""Direct tests of the workload generator building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.config import GPUConfig
+from repro.isa import KernelBuilder
+from repro.trace import OpCode, emulate
+from repro.workloads import Layout, Scale
+from repro.workloads import generators as g
+
+CONFIG = GPUConfig.small(n_cores=1, warps_per_core=8)
+SCALE = Scale.tiny()
+
+
+class TestScale:
+    def test_presets(self):
+        assert Scale.tiny().n_threads == 256
+        assert Scale.small().n_threads == 48 * 128
+        assert Scale.large().n_blocks == 384
+
+    def test_n_elements(self):
+        scale = Scale(n_blocks=2, block_size=64, iters=3)
+        assert scale.n_elements == 2 * 64 * 3
+
+
+class TestLayout:
+    def test_disjoint_allocations(self):
+        layout = Layout()
+        a = layout.array(1000)
+        b = layout.array(Layout.SPACING * 2)
+        c = layout.array(4)
+        assert a < b < c
+        assert b - a >= Layout.SPACING
+        assert c - b >= 2 * Layout.SPACING
+
+    def test_zero_size_still_reserves(self):
+        layout = Layout()
+        assert layout.array(0) != layout.array(0)
+
+
+class TestGridStride:
+    def test_iterates_iters_times(self):
+        scale = Scale(n_blocks=1, block_size=32, iters=3)
+        b = KernelBuilder("gs")
+        with g.grid_stride(b, scale) as idx:
+            b.ld(b.iadd(b.imul(idx, 4), 0x100000))
+        b.exit()
+        kernel = b.build(scale.n_threads, scale.block_size)
+        warp = emulate(kernel, CONFIG).warps[0]
+        assert int(warp.is_load.sum()) == 3
+
+    def test_index_advances_by_grid(self):
+        scale = Scale(n_blocks=1, block_size=32, iters=2)
+        b = KernelBuilder("gs2")
+        with g.grid_stride(b, scale) as idx:
+            b.st(b.iadd(b.imul(idx, 4), 0x200000), 1.0)
+        b.exit()
+        kernel = b.build(scale.n_threads, scale.block_size)
+        warp = emulate(kernel, CONFIG).warps[0]
+        stores = np.flatnonzero(warp.ops == OpCode.STORE)
+        first = warp.requests(int(stores[0]))[0]
+        second = warp.requests(int(stores[1]))[0]
+        assert second - first == scale.n_threads * 4  # one grid stride
+
+
+class TestParameterisedGenerators:
+    def test_strided_divergence_parameter(self):
+        for stride, degree in [(4, 1), (32, 8), (128, 32)]:
+            kernel, memory = g.strided("s", SCALE, stride_bytes=stride)
+            warp = emulate(kernel, CONFIG, memory=memory).warps[0]
+            loads = warp.requests_per_inst[warp.is_load]
+            assert int(loads.max()) == degree
+
+    def test_compute_chain_ilp(self):
+        kernel, _ = g.compute_chain("c", SCALE, chain=8, ilp=4)
+        assert kernel.n_warps == SCALE.n_threads // 32
+
+    def test_scatter_writes_store_count(self):
+        kernel, memory = g.scatter_writes("w", SCALE, n_stores=3)
+        warp = emulate(kernel, CONFIG, memory=memory).warps[0]
+        # 3 stores per grid-stride iteration.
+        assert int(warp.is_store.sum()) == 3 * SCALE.iters
+
+    def test_gather_table_footprint(self):
+        kernel, memory = g.gather("g", SCALE, table_words=256, n_gathers=2)
+        trace = emulate(kernel, CONFIG, memory=memory)
+        # Gather lines stay inside the 1 KB table (256 words).
+        table_lines = {
+            int(line)
+            for warp in trace.warps
+            for i in np.flatnonzero(warp.is_load)
+            for line in warp.requests(int(i))
+        }
+        assert len(table_lines) < 300  # table + index + output arrays
+
+    def test_matmul_smem_conflict_parameter(self):
+        clean, _ = g.matmul_smem_tiled("m1", SCALE, conflict_stride_words=1)
+        bad, _ = g.matmul_smem_tiled("m32", SCALE, conflict_stride_words=32)
+        warp_clean = emulate(clean, CONFIG).warps[0]
+        warp_bad = emulate(bad, CONFIG).warps[0]
+        smem_clean = warp_clean.conflict[warp_clean.is_shared_memory]
+        smem_bad = warp_bad.conflict[warp_bad.is_shared_memory]
+        assert int(smem_clean.max()) == 1
+        assert int(smem_bad.max()) == 32
+
+    def test_mandelbrot_trip_counts_bounded(self):
+        kernel, memory = g.mandelbrot_like("m", SCALE, max_iters=6)
+        trace = emulate(kernel, CONFIG, memory=memory)
+        # Longest warp bounded by max trip count x loop body + overhead.
+        assert max(len(w) for w in trace.warps) < 6 * SCALE.iters * 5 + 32
+
+    def test_invert_mapping_feature_count(self):
+        kernel, memory = g.invert_mapping_like("inv", SCALE, n_features=4)
+        warp = emulate(kernel, CONFIG, memory=memory).warps[0]
+        # 4 stores + 4 gathers + 1 index load per iteration.
+        assert int(warp.is_store.sum()) == 4 * SCALE.iters
+        assert int(warp.is_load.sum()) == 5 * SCALE.iters

@@ -1,0 +1,195 @@
+"""Unit tests for the mini ISA: instructions, builder, kernel validation."""
+
+import pytest
+
+from repro.isa import CmpOp, Imm, Instruction, Kernel, KernelBuilder, Reg, Special
+from repro.isa.builder import BuilderError
+from repro.isa.instructions import OpClass, opcode_class
+from repro.isa.kernel import KernelValidationError
+
+
+class TestInstruction:
+    def test_basic_alu(self):
+        inst = Instruction("iadd", dst=Reg(0), srcs=(Reg(1), Imm(4)))
+        assert inst.opclass is OpClass.IALU
+        assert inst.source_registers == (Reg(1),)
+
+    def test_unknown_opcode(self):
+        with pytest.raises(ValueError):
+            Instruction("xor", dst=Reg(0), srcs=(Reg(1), Reg(2)))
+
+    def test_wrong_arity(self):
+        with pytest.raises(ValueError):
+            Instruction("iadd", dst=Reg(0), srcs=(Reg(1),))
+
+    def test_missing_destination(self):
+        with pytest.raises(ValueError):
+            Instruction("iadd", srcs=(Reg(1), Reg(2)))
+
+    def test_store_has_no_destination(self):
+        with pytest.raises(ValueError):
+            Instruction("st", dst=Reg(0), srcs=(Reg(1), Reg(2)))
+
+    def test_setp_requires_cmp(self):
+        with pytest.raises(ValueError):
+            Instruction("setp", dst=Reg(0), srcs=(Reg(1), Imm(0)))
+
+    def test_cmp_only_on_setp(self):
+        with pytest.raises(ValueError):
+            Instruction("iadd", dst=Reg(0), srcs=(Reg(1), Imm(0)),
+                        cmp_op=CmpOp.LT)
+
+    def test_branch_requires_target(self):
+        with pytest.raises(ValueError):
+            Instruction("bra")
+
+    def test_branch_fields_rejected_elsewhere(self):
+        with pytest.raises(ValueError):
+            Instruction("mov", dst=Reg(0), srcs=(Imm(1),), target=0)
+
+    def test_source_registers_include_predicate(self):
+        inst = Instruction("bra", target=0, reconv=1, pred=Reg(5))
+        assert Reg(5) in inst.source_registers
+
+    def test_ffma_three_sources(self):
+        inst = Instruction("ffma", dst=Reg(0), srcs=(Reg(1), Reg(2), Reg(3)))
+        assert len(inst.source_registers) == 3
+
+    def test_negative_register_index(self):
+        with pytest.raises(ValueError):
+            Reg(-1)
+
+    def test_opcode_class_lookup(self):
+        assert opcode_class("fmul") is OpClass.FALU
+        assert opcode_class("fsqrt") is OpClass.SFU
+        with pytest.raises(ValueError):
+            opcode_class("nop")
+
+    def test_latency_classes(self):
+        assert OpClass.IALU.latency_class == "ialu"
+        assert OpClass.BRANCH.latency_class == "ialu"
+        assert OpClass.SFU.latency_class == "sfu"
+        with pytest.raises(ValueError):
+            OpClass.LOAD.latency_class
+
+
+class TestBuilder:
+    def test_fresh_registers(self):
+        b = KernelBuilder("k")
+        r1, r2 = b.alloc(), b.alloc()
+        assert r1 != r2
+
+    def test_numbers_become_immediates(self):
+        b = KernelBuilder("k")
+        dst = b.iadd(b.tid(), 7)
+        b.exit()
+        kernel = b.build(32, 32)
+        assert kernel.program[1].srcs[1] == Imm(7)
+        assert dst == kernel.program[1].dst
+
+    def test_special_accessors(self):
+        b = KernelBuilder("k")
+        b.tid(), b.lane(), b.warpid(), b.ctaid(), b.ntid()
+        b.exit()
+        kernel = b.build(32, 32)
+        specials = [inst.srcs[0] for inst in kernel.program[:5]]
+        assert specials == [
+            Special.TID, Special.LANE, Special.WARP, Special.CTAID,
+            Special.NTID,
+        ]
+
+    def test_label_resolution_backward(self):
+        b = KernelBuilder("k")
+        counter = b.mov(0)
+        head = b.label()
+        b.iadd(counter, 1, dst=counter)
+        pred = b.setp_lt(counter, 3)
+        b.bra(head, pred=pred)
+        b.exit()
+        kernel = b.build(32, 32)
+        bra = kernel.program[3]
+        assert bra.target == 1
+        assert bra.reconv == 4  # backward branch reconverges at fall-through
+
+    def test_forward_branch_reconverges_at_target(self):
+        b = KernelBuilder("k")
+        pred = b.setp_lt(b.lane(), 8)
+        with b.if_(pred):
+            b.fadd(Imm(1.0), Imm(2.0))
+        b.exit()
+        kernel = b.build(32, 32)
+        bra = next(i for i in kernel.program if i.opcode == "bra")
+        assert bra.target == bra.reconv
+
+    def test_undefined_label(self):
+        b = KernelBuilder("k")
+        b.bra("nowhere")
+        b.exit()
+        with pytest.raises(BuilderError):
+            b.build(32, 32)
+
+    def test_duplicate_label(self):
+        b = KernelBuilder("k")
+        b.label("spot")
+        with pytest.raises(BuilderError):
+            b.label("spot")
+
+    def test_builder_single_use(self):
+        b = KernelBuilder("k")
+        b.exit()
+        b.build(32, 32)
+        with pytest.raises(BuilderError):
+            b.exit()
+
+    def test_invalid_operand(self):
+        b = KernelBuilder("k")
+        with pytest.raises(BuilderError):
+            b.iadd("oops", 1)
+
+
+class TestKernelValidation:
+    def test_program_must_end_with_exit(self):
+        with pytest.raises(KernelValidationError):
+            Kernel("k", (Instruction("mov", dst=Reg(0), srcs=(Imm(1),)),),
+                   n_threads=32, block_size=32)
+
+    def test_threads_multiple_of_block(self):
+        b = KernelBuilder("k")
+        b.exit()
+        with pytest.raises(KernelValidationError):
+            b.build(100, 64)
+
+    def test_branch_target_in_range(self):
+        program = (Instruction("bra", target=5), Instruction("exit"))
+        with pytest.raises(KernelValidationError):
+            Kernel("k", program, n_threads=32, block_size=32)
+
+    def test_conditional_branch_needs_reconv(self):
+        program = (
+            Instruction("setp", dst=Reg(0), srcs=(Imm(1), Imm(0)),
+                        cmp_op=CmpOp.LT),
+            Instruction("bra", target=2, pred=Reg(0)),
+            Instruction("exit"),
+        )
+        with pytest.raises(KernelValidationError):
+            Kernel("k", program, n_threads=32, block_size=32)
+
+    def test_geometry_properties(self):
+        b = KernelBuilder("k")
+        b.exit()
+        kernel = b.build(n_threads=256, block_size=64)
+        assert kernel.n_warps == 8
+        assert kernel.n_blocks == 4
+        assert kernel.warps_per_block == 2
+
+    def test_max_register(self):
+        b = KernelBuilder("k")
+        b.iadd(b.tid(), 1)
+        b.exit()
+        kernel = b.build(32, 32)
+        assert kernel.max_register == 1
+
+    def test_describe_mentions_name(self):
+        b = KernelBuilder("mykernel")
+        b.exit()
+        assert "mykernel" in b.build(32, 32).describe()

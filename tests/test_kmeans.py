@@ -1,0 +1,90 @@
+"""Unit and property tests for the from-scratch k-means."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.core.kmeans import kmeans
+
+
+class TestKMeans:
+    def test_two_obvious_clusters(self):
+        points = np.array(
+            [[0.0, 0.0], [0.1, 0.0], [0.0, 0.1], [5.0, 5.0], [5.1, 5.0]]
+        )
+        result = kmeans(points, k=2)
+        labels = result.labels
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4]
+        assert labels[0] != labels[3]
+        assert result.largest_cluster == labels[0]
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(42)
+        points = rng.normal(size=(50, 2))
+        a = kmeans(points, k=2)
+        b = kmeans(points, k=2)
+        assert np.array_equal(a.labels, b.labels)
+        assert np.array_equal(a.centers, b.centers)
+
+    def test_identical_points(self):
+        points = np.ones((10, 2))
+        result = kmeans(points, k=2)
+        assert result.inertia == pytest.approx(0.0)
+        sizes = result.cluster_sizes()
+        assert sizes.sum() == 10
+
+    def test_single_point(self):
+        result = kmeans(np.array([[1.0, 2.0]]), k=2)
+        assert result.labels[0] in (0, 1)
+
+    def test_k_one(self):
+        points = np.array([[0.0, 0.0], [2.0, 2.0]])
+        result = kmeans(points, k=1)
+        assert (result.labels == 0).all()
+        assert result.centers[0] == pytest.approx([1.0, 1.0])
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((0, 2)), k=2)
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((3, 2)), k=0)
+        with pytest.raises(ValueError):
+            kmeans(np.zeros(5), k=2)
+
+
+class TestKMeansProperties:
+    @settings(deadline=None, max_examples=30)
+    @given(
+        npst.arrays(
+            np.float64,
+            st.tuples(st.integers(2, 40), st.just(2)),
+            elements=st.floats(min_value=-100, max_value=100,
+                               allow_nan=False),
+        )
+    )
+    def test_invariants(self, points):
+        result = kmeans(points, k=2)
+        n = len(points)
+        assert result.labels.shape == (n,)
+        assert set(np.unique(result.labels)) <= {0, 1}
+        assert result.inertia >= 0.0
+        assert result.cluster_sizes().sum() == n
+        # Every point is assigned to its nearest centre.
+        d = ((points[:, None, :] - result.centers[None]) ** 2).sum(axis=2)
+        assert np.array_equal(np.argmin(d, axis=1), result.labels)
+
+    @settings(deadline=None, max_examples=20)
+    @given(
+        npst.arrays(
+            np.float64,
+            st.tuples(st.integers(4, 30), st.just(2)),
+            elements=st.floats(min_value=0, max_value=10, allow_nan=False),
+        )
+    )
+    def test_inertia_no_worse_than_single_cluster(self, points):
+        one = kmeans(points, k=1)
+        two = kmeans(points, k=2)
+        assert two.inertia <= one.inertia + 1e-9

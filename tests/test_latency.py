@@ -1,0 +1,106 @@
+"""Unit tests for per-PC latency assignment (Sec. V-B)."""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.core.latency import build_latency_table
+from repro.isa import KernelBuilder
+from repro.memory import simulate_caches
+from repro.trace import emulate
+
+
+def build_table(build_fn, n_threads=64, block_size=64):
+    config = GPUConfig.small(n_cores=1, warps_per_core=4)
+    b = KernelBuilder("k")
+    build_fn(b)
+    b.exit()
+    kernel = b.build(n_threads=n_threads, block_size=block_size)
+    trace = emulate(kernel, config)
+    cache_result = simulate_caches(trace, config)
+    return build_latency_table(trace, cache_result, config), config, kernel
+
+
+class TestComputeLatencies:
+    def test_classes_from_config(self):
+        def build(b):
+            b.iadd(1, 2)      # pc 0: ialu
+            b.fmul(1.0, 2.0)  # pc 1: falu
+            b.fsqrt(2.0)      # pc 2: sfu
+
+        table, config, _ = build_table(build)
+        assert table.latency(0) == config.op_latencies["ialu"]
+        assert table.latency(1) == config.op_latencies["falu"]
+        assert table.latency(2) == config.op_latencies["sfu"]
+
+    def test_branch_and_exit_one_cycle(self):
+        def build(b):
+            head = b.loop_begin()
+            counter = b.iadd(0, 1)
+            pred = b.setp_lt(counter, 0)  # never loops again
+            b.loop_end(head, pred)
+
+        table, _, kernel = build_table(build)
+        bra_pc = next(
+            i for i, inst in enumerate(kernel.program) if inst.opcode == "bra"
+        )
+        exit_pc = len(kernel.program) - 1
+        assert table.latency(bra_pc) == 1.0
+        assert table.latency(exit_pc) == 1.0
+
+
+class TestMemoryLatencies:
+    def test_streaming_load_gets_l2_miss_amat(self):
+        def build(b):
+            b.ld(b.iadd(b.imul(b.tid(), 4), 0x100000))
+
+        table, config, kernel = build_table(build)
+        load_pc = next(
+            i for i, inst in enumerate(kernel.program) if inst.opcode == "ld"
+        )
+        assert table.latency(load_pc) == config.l2_miss_latency
+
+    def test_reused_load_gets_l1_amat(self):
+        def build(b):
+            addr = b.iadd(b.imul(b.tid(), 4), 0x100000)
+            b.ld(addr)
+            b.ld(addr)  # immediate reuse
+
+        table, config, kernel = build_table(build)
+        load_pcs = [
+            i for i, inst in enumerate(kernel.program) if inst.opcode == "ld"
+        ]
+        assert table.latency(load_pcs[1]) == config.l1_latency
+
+    def test_sec5b_amat_example(self):
+        """Paper example: 90% L2 hits + 10% L2 misses -> 150 cycles."""
+        from repro.memory.cache_simulator import PCStats
+        from repro.memory.hierarchy import MissEvent
+
+        stats = PCStats(pc=0, is_store=False)
+        stats.n_insts = 10
+        stats.inst_events[MissEvent.L2_HIT] = 9
+        stats.inst_events[MissEvent.L2_MISS] = 1
+        assert stats.amat(GPUConfig()) == pytest.approx(
+            0.9 * 120 + 0.1 * 420
+        )
+
+    def test_store_latency_is_one(self):
+        def build(b):
+            b.st(b.iadd(b.imul(b.tid(), 4), 0x100000), 1.0)
+
+        table, _, kernel = build_table(build)
+        store_pc = next(
+            i for i, inst in enumerate(kernel.program) if inst.opcode == "st"
+        )
+        assert table.latency(store_pc) == 1.0
+
+    def test_stats_for_memory_pc(self):
+        def build(b):
+            b.ld(b.iadd(b.imul(b.tid(), 4), 0x100000))
+
+        table, _, kernel = build_table(build)
+        load_pc = next(
+            i for i, inst in enumerate(kernel.program) if inst.opcode == "ld"
+        )
+        assert table.stats_for(load_pc) is not None
+        assert table.stats_for(0) is None  # compute pc

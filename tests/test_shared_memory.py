@@ -1,0 +1,167 @@
+"""Tests for the shared-memory (scratchpad) extension — Table I's
+"16 KB software managed cache" with bank-conflict modeling."""
+
+import numpy as np
+import pytest
+
+from repro.config import ConfigError, GPUConfig
+from repro.core.model import GPUMech
+from repro.isa import KernelBuilder
+from repro.timing import TimingSimulator
+from repro.trace import OpCode, emulate
+from repro.trace.emulator import bank_conflict_degree
+
+
+class TestBankConflicts:
+    def degree(self, addrs, mask=None):
+        addrs = np.asarray(addrs, dtype=np.int64)
+        mask = (
+            np.ones(len(addrs), dtype=bool) if mask is None
+            else np.asarray(mask, dtype=bool)
+        )
+        return bank_conflict_degree(addrs, mask, n_banks=32)
+
+    def test_conflict_free_unit_stride(self):
+        assert self.degree([lane * 4 for lane in range(32)]) == 1
+
+    def test_same_bank_full_conflict(self):
+        # Stride of 32 words: every lane maps to bank 0.
+        assert self.degree([lane * 32 * 4 for lane in range(32)]) == 32
+
+    def test_broadcast_counts_once(self):
+        assert self.degree([64] * 32) == 1
+
+    def test_two_way_conflict(self):
+        # Stride of 2 words: lanes pair up on the 16 even banks.
+        assert self.degree([lane * 2 * 4 for lane in range(32)]) == 2
+
+    def test_sixteen_way_conflict(self):
+        # Stride of 16 words: all lanes alternate between banks 0 and 16.
+        assert self.degree([lane * 16 * 4 for lane in range(32)]) == 16
+
+    def test_masked_lanes_ignored(self):
+        addrs = [lane * 32 * 4 for lane in range(32)]
+        mask = [lane < 4 for lane in range(32)]
+        assert self.degree(addrs, mask) == 4
+
+    def test_empty_mask(self):
+        assert self.degree([0, 4], [False, False]) == 0
+
+
+class TestEmulation:
+    def run_warp(self, build_fn):
+        b = KernelBuilder("smem")
+        build_fn(b)
+        b.exit()
+        kernel = b.build(32, 32)
+        return emulate(kernel, GPUConfig()).warps[0]
+
+    def test_conflict_recorded_in_trace(self):
+        def build(b):
+            lane = b.lane()
+            b.lds(b.imul(lane, 4))      # conflict-free
+            b.lds(b.imul(lane, 128))    # 32-way conflict
+
+        warp = self.run_warp(build)
+        smem = np.flatnonzero(warp.ops == OpCode.SMEM_LOAD)
+        assert warp.conflict[smem[0]] == 1
+        assert warp.conflict[smem[1]] == 32
+
+    def test_non_smem_conflict_zero(self):
+        def build(b):
+            b.ld(b.iadd(b.imul(b.tid(), 4), 0x10000))
+
+        warp = self.run_warp(build)
+        assert (warp.conflict[warp.ops == OpCode.LOAD] == 0).all()
+
+    def test_read_own_write(self):
+        def build(b):
+            lane = b.lane()
+            word = b.imul(lane, 4)
+            b.sts(word, 7.5)
+            value = b.lds(word)
+            b.st(b.imul(b.tid(), 4), value, offset=1 << 22)
+
+        warp = self.run_warp(build)  # executes without error
+        assert (warp.ops == OpCode.SMEM_STORE).sum() == 1
+
+    def test_smem_ops_issue_no_global_requests(self):
+        def build(b):
+            b.lds(b.imul(b.lane(), 4))
+
+        warp = self.run_warp(build)
+        smem = np.flatnonzero(warp.ops == OpCode.SMEM_LOAD)
+        assert warp.n_requests(int(smem[0])) == 0
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            GPUConfig(smem_banks=0)
+        with pytest.raises(ConfigError):
+            GPUConfig(smem_latency=0)
+
+
+def staging_kernel(stride_words, n_accesses=8, n_threads=256, block_size=64):
+    """Load from global, stage through shared memory at a given stride."""
+    b = KernelBuilder("stage%d" % stride_words)
+    lane = b.lane()
+    value = b.ld(b.iadd(b.imul(b.tid(), 4), 0x100000))
+    slot = b.imul(lane, stride_words * 4)
+    acc = b.mov(0.0)
+    for i in range(n_accesses):
+        b.sts(slot, value, offset=i * 4)
+        staged = b.lds(slot, offset=i * 4)
+        acc = b.fadd(acc, staged, dst=acc)
+    b.st(b.iadd(b.imul(b.tid(), 4), 0x100000), acc, offset=1 << 22)
+    b.exit()
+    return b.build(n_threads=n_threads, block_size=block_size)
+
+
+class TestOracle:
+    def test_conflicts_slow_the_oracle(self):
+        config = GPUConfig.small(n_cores=1, warps_per_core=8)
+        clean = TimingSimulator(config).run(
+            emulate(staging_kernel(stride_words=1), config)
+        )
+        conflicted = TimingSimulator(config).run(
+            emulate(staging_kernel(stride_words=32), config)
+        )
+        assert conflicted.total_cycles > clean.total_cycles
+
+    def test_cycle_skipping_equivalence_with_smem(self):
+        config = GPUConfig.small(n_cores=1, warps_per_core=4)
+        trace = emulate(staging_kernel(stride_words=32, n_threads=128),
+                        config)
+        fast = TimingSimulator(config, cycle_skipping=True).run(trace)
+        slow = TimingSimulator(config, cycle_skipping=False).run(trace)
+        assert fast.total_cycles == slow.total_cycles
+
+
+class TestModel:
+    def test_model_tracks_conflict_direction(self):
+        config = GPUConfig.small(n_cores=1, warps_per_core=8)
+        model = GPUMech(config)
+        clean = model.predict_kernel(staging_kernel(stride_words=1))
+        conflicted = model.predict_kernel(staging_kernel(stride_words=32))
+        assert conflicted.cpi > clean.cpi
+        assert conflicted.cpi_smem > 0.0
+        assert clean.cpi_smem == pytest.approx(0.0, abs=0.2)
+
+    def test_model_matches_oracle_on_conflicted_kernel(self):
+        config = GPUConfig.small(n_cores=1, warps_per_core=8)
+        kernel = staging_kernel(stride_words=32)
+        trace = emulate(kernel, config)
+        oracle = TimingSimulator(config).run(trace)
+        prediction = GPUMech(config).predict_kernel(kernel)
+        error = abs(prediction.cpi - oracle.cpi) / oracle.cpi
+        assert error < 0.35
+
+    def test_stack_has_smem_category(self):
+        from repro.core.cpi_stack import StallType
+
+        config = GPUConfig.small(n_cores=1, warps_per_core=8)
+        prediction = GPUMech(config).predict_kernel(
+            staging_kernel(stride_words=32)
+        )
+        assert prediction.cpi_stack[StallType.SMEM] == pytest.approx(
+            prediction.cpi_smem
+        )

@@ -1,0 +1,105 @@
+"""Unit tests for the SIMT reconvergence stack."""
+
+import numpy as np
+import pytest
+
+from repro.trace.simt_stack import SimtStack, SimtStackError
+
+
+def full_mask(n=32):
+    return np.ones(n, dtype=bool)
+
+
+def mask_of(indices, n=32):
+    mask = np.zeros(n, dtype=bool)
+    mask[list(indices)] = True
+    return mask
+
+
+class TestBasics:
+    def test_initial_state(self):
+        stack = SimtStack(full_mask())
+        assert stack.depth == 1
+        assert stack.top.pc == 0
+        assert stack.top.n_active == 32
+
+    def test_empty_mask_rejected(self):
+        with pytest.raises(SimtStackError):
+            SimtStack(np.zeros(32, dtype=bool))
+
+    def test_advance_and_jump(self):
+        stack = SimtStack(full_mask())
+        stack.advance()
+        assert stack.top.pc == 1
+        stack.jump(10)
+        assert stack.top.pc == 10
+
+
+class TestBranching:
+    def test_uniform_taken(self):
+        stack = SimtStack(full_mask())
+        stack.branch(full_mask(), target=5, reconv=9)
+        assert stack.depth == 1
+        assert stack.top.pc == 5
+
+    def test_uniform_not_taken(self):
+        stack = SimtStack(full_mask())
+        stack.branch(np.zeros(32, dtype=bool), target=5, reconv=9)
+        assert stack.depth == 1
+        assert stack.top.pc == 1
+
+    def test_divergent_split(self):
+        stack = SimtStack(full_mask())
+        taken = mask_of(range(8))
+        stack.branch(taken, target=5, reconv=9)
+        assert stack.depth == 3
+        # Fall-through group executes first.
+        assert stack.top.pc == 1
+        assert stack.top.n_active == 24
+        # Join entry holds the full mask at the reconvergence point.
+        assert stack._entries[0].pc == 9
+        assert stack._entries[0].n_active == 32
+
+    def test_divergence_without_reconv_rejected(self):
+        stack = SimtStack(full_mask())
+        with pytest.raises(SimtStackError):
+            stack.branch(mask_of([0]), target=5, reconv=None)
+
+    def test_full_reconvergence_cycle(self):
+        stack = SimtStack(full_mask())
+        stack.branch(mask_of(range(8)), target=5, reconv=9)
+        # Execute the fall-through side up to the reconvergence point.
+        while stack.top.pc != 9:
+            stack.advance()
+        assert stack.pop_reconverged()
+        # Taken side starts at 5.
+        assert stack.top.pc == 5
+        assert stack.top.n_active == 8
+        while stack.top.pc != 9:
+            stack.advance()
+        assert stack.pop_reconverged()
+        # Join entry with everyone back.
+        assert stack.depth == 1
+        assert stack.top.n_active == 32
+        assert stack.top.pc == 9
+
+    def test_nested_divergence(self):
+        stack = SimtStack(full_mask())
+        stack.branch(mask_of(range(16)), target=10, reconv=20)
+        # Fall-through group diverges again.
+        inner_taken = mask_of(range(16, 20))
+        stack.branch(inner_taken, target=5, reconv=8)
+        assert stack.depth == 5
+        # The inner split only involves lanes of the outer fall-through.
+        assert stack.top.n_active == 12
+
+    def test_branch_masks_are_anded_with_top(self):
+        stack = SimtStack(mask_of(range(4)))
+        stack.branch(full_mask(), target=7, reconv=9)
+        # All active lanes take -> uniform taken.
+        assert stack.depth == 1
+        assert stack.top.pc == 7
+
+    def test_cannot_pop_top_level(self):
+        stack = SimtStack(full_mask())
+        assert not stack.pop_reconverged()  # reconv is None

@@ -1,0 +1,125 @@
+"""Tests for the 40-kernel workload suite."""
+
+import numpy as np
+import pytest
+
+from repro.config import GPUConfig
+from repro.trace import emulate
+from repro.workloads import SUITE, Scale, get_kernel, kernel_names, kernels_with_tag
+
+
+CONFIG = GPUConfig.small(n_cores=2, warps_per_core=8)
+
+
+def max_divergence(trace):
+    return max(
+        (int(w.requests_per_inst.max()) if len(w.req_lines) else 0)
+        for w in trace.warps
+    )
+
+
+class TestSuiteStructure:
+    def test_forty_kernels(self):
+        assert len(SUITE) == 40
+
+    def test_names_sorted_and_unique(self):
+        names = kernel_names()
+        assert names == sorted(set(names))
+
+    def test_paper_case_studies_present(self):
+        for name in ("cfd_step_factor", "cfd_compute_flux",
+                     "kmeans_invert_mapping"):
+            assert name in SUITE
+
+    def test_tags_cover_all_axes(self):
+        for tag in ("coalesced", "compute", "control_divergent", "divergent",
+                    "write_heavy", "cache_friendly"):
+            assert kernels_with_tag(tag), "no kernels tagged %r" % tag
+
+    def test_suites_attributed(self):
+        suites = {spec.suite for spec in SUITE.values()}
+        assert {"rodinia", "parboil", "sdk", "micro"} <= suites
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(KeyError):
+            get_kernel("does_not_exist")
+
+    def test_descriptions_nonempty(self):
+        assert all(spec.description for spec in SUITE.values())
+
+
+@pytest.mark.parametrize("name", kernel_names())
+class TestEveryKernel:
+    def test_builds_and_emulates(self, name):
+        kernel, memory = get_kernel(name, Scale.tiny())
+        trace = emulate(kernel, CONFIG, memory=memory)
+        assert trace.n_warps == kernel.n_warps
+        assert trace.total_insts > 0
+        # Every warp terminates with an exit.
+        from repro.trace import OpCode
+
+        for warp in trace.warps:
+            assert warp.ops[-1] == OpCode.EXIT
+
+    def test_deterministic(self, name):
+        kernel_a, memory_a = get_kernel(name, Scale.tiny())
+        kernel_b, memory_b = get_kernel(name, Scale.tiny())
+        trace_a = emulate(kernel_a, CONFIG, memory=memory_a)
+        trace_b = emulate(kernel_b, CONFIG, memory=memory_b)
+        assert trace_a.total_insts == trace_b.total_insts
+        for wa, wb in zip(trace_a.warps, trace_b.warps):
+            assert np.array_equal(wa.pcs, wb.pcs)
+            assert np.array_equal(wa.req_lines, wb.req_lines)
+
+
+class TestBehaviouralContracts:
+    def test_coalesced_kernels_have_degree_one_loads(self):
+        for name in ("vectoradd", "saxpy", "cfd_step_factor"):
+            kernel, memory = get_kernel(name, Scale.tiny())
+            trace = emulate(kernel, CONFIG, memory=memory)
+            assert max_divergence(trace) == 1, name
+
+    @pytest.mark.parametrize(
+        "name,expected",
+        [("strided_deg4", 4), ("strided_deg8", 8), ("strided_deg16", 16),
+         ("strided_deg32", 32)],
+    )
+    def test_strided_divergence_degrees(self, name, expected):
+        kernel, memory = get_kernel(name, Scale.tiny())
+        trace = emulate(kernel, CONFIG, memory=memory)
+        assert max_divergence(trace) == expected
+
+    def test_invert_mapping_divergent_stores(self):
+        kernel, memory = get_kernel("kmeans_invert_mapping", Scale.tiny())
+        trace = emulate(kernel, CONFIG, memory=memory)
+        from repro.trace import OpCode
+
+        store_reqs = []
+        for warp in trace.warps:
+            for i in np.flatnonzero(warp.ops == OpCode.STORE):
+                store_reqs.append(warp.n_requests(int(i)))
+        assert max(store_reqs) == 32
+
+    def test_control_divergent_kernels_have_masked_insts(self):
+        for name in kernels_with_tag("control_divergent"):
+            kernel, memory = get_kernel(name, Scale.tiny())
+            trace = emulate(kernel, CONFIG, memory=memory)
+            has_partial = any(
+                (np.asarray(w.active) < w.active.max()).any()
+                for w in trace.warps
+            )
+            assert has_partial, name
+
+    def test_control_divergent_warps_differ_in_length(self):
+        """The Fig. 7 premise: divergent kernels have heterogeneous warps."""
+        kernel, memory = get_kernel("mandelbrot", Scale.tiny())
+        trace = emulate(kernel, CONFIG, memory=memory)
+        lengths = {len(w) for w in trace.warps}
+        assert len(lengths) > 1
+
+    def test_scale_controls_size(self):
+        small_k, mem_s = get_kernel("vectoradd", Scale.tiny())
+        big_k, mem_b = get_kernel("vectoradd", Scale.small())
+        small = emulate(small_k, CONFIG, memory=mem_s)
+        big = emulate(big_k, CONFIG, memory=mem_b)
+        assert big.total_insts > small.total_insts
