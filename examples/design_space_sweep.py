@@ -10,15 +10,23 @@ cycle-level simulator per point.
 Sweeps warps/core, MSHR entries and DRAM bandwidth for one kernel and
 prints predicted CPI per point, flagging the best configuration.
 
+Everything runs through the staged artifact pipeline
+(``repro.pipeline``): stage artifacts are content-addressed by the
+configuration fields they actually depend on, so across the three
+sweeps below the kernel is emulated exactly once and each hardware
+point re-runs only the cache-sim-and-later stages.  Pass ``--jobs N``
+to fan the per-warp profiling out over processes, ``--cache-dir DIR``
+to persist artifacts so a rerun of this script recomputes nothing.
+
 Usage:
-    python examples/design_space_sweep.py [kernel_name]
+    python examples/design_space_sweep.py [kernel_name] [--jobs N]
+                                          [--cache-dir DIR]
 """
 
-import sys
+import argparse
 
-from repro import GPUConfig, GPUMech
+from repro import GPUConfig, GPUMech, Pipeline
 from repro.harness.reporting import render_table
-from repro.trace import emulate
 from repro.workloads import Scale, get_kernel
 
 
@@ -40,26 +48,22 @@ def sweep_warps(config, inputs, model):
           "(CPI stops improving)\n" % best[0])
 
 
-def sweep_mshrs(config, trace, model_cls):
+def sweep_mshrs(pipeline, name, config):
     rows = []
     for mshrs in (8, 16, 32, 64, 128):
-        cfg = config.with_(n_mshrs=mshrs)
-        model = model_cls(cfg)
-        inputs = model.prepare(trace=trace)
-        prediction = model.predict(inputs)
+        prediction = pipeline.predict(name, config.with_(n_mshrs=mshrs))
         rows.append((mshrs, prediction.cpi, prediction.cpi_mshr))
     print(render_table(("MSHRs", "CPI", "MSHR CPI"), rows,
                        title="Sweep: MSHR entries"))
     print()
 
 
-def sweep_bandwidth(config, trace, model_cls):
+def sweep_bandwidth(pipeline, name, config):
     rows = []
     for gbps in (48.0, 96.0, 192.0, 384.0, 768.0):
-        cfg = config.with_(dram_bandwidth_gbps=gbps)
-        model = model_cls(cfg)
-        inputs = model.prepare(trace=trace)
-        prediction = model.predict(inputs)
+        prediction = pipeline.predict(
+            name, config.with_(dram_bandwidth_gbps=gbps)
+        )
         rows.append((gbps, prediction.cpi, prediction.cpi_queue))
     print(render_table(("GB/s", "CPI", "QUEUE CPI"), rows,
                        title="Sweep: DRAM bandwidth"))
@@ -67,19 +71,33 @@ def sweep_bandwidth(config, trace, model_cls):
 
 
 def main() -> None:
-    name = sys.argv[1] if len(sys.argv) > 1 else "kmeans_invert_mapping"
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("kernel", nargs="?", default="kmeans_invert_mapping")
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--cache-dir", default=None)
+    args = parser.parse_args()
+
     config = GPUConfig(n_cores=2)
-    kernel, memory = get_kernel(name, Scale.small())
+    scale = Scale.small()
+    kernel, _ = get_kernel(args.kernel, scale)
     print(kernel.describe(), "\n")
 
-    # The trace is hardware-independent: emulate once, reuse everywhere.
-    trace = emulate(kernel, config, memory=memory)
-    model = GPUMech(config)
-    inputs = model.prepare(trace=trace)
+    # One pipeline serves all three sweeps: the trace stage runs once
+    # (it is hardware-independent), every hardware point below reuses it.
+    pipeline = Pipeline(
+        config, scale=scale, jobs=args.jobs, cache_dir=args.cache_dir
+    )
+    model = GPUMech(config, pipeline=pipeline)
+    inputs = pipeline.model_inputs(args.kernel)
 
     sweep_warps(config, inputs, model)
-    sweep_mshrs(config, trace, GPUMech)
-    sweep_bandwidth(config, trace, GPUMech)
+    sweep_mshrs(pipeline, args.kernel, config)
+    sweep_bandwidth(pipeline, args.kernel, config)
+
+    executions = dict(pipeline.counters)
+    print("pipeline stage executions:", executions)
+    print("(one emulation, one clustering — every other hardware point "
+          "re-ran only cheap stages)")
 
 
 if __name__ == "__main__":

@@ -10,7 +10,13 @@ This is the long-running entry point (tens of minutes at full scale);
 drivers in a few minutes.
 
 Usage:
-    python examples/reproduce_paper.py [--quick] [--out DIR]
+    python examples/reproduce_paper.py [--quick] [--out DIR] [--jobs N]
+                                       [--cache-dir DIR]
+
+``--jobs N`` fans independent (kernel × sweep-point) evaluations out
+over N worker processes; ``--cache-dir DIR`` persists the staged
+pipeline's artifact store on disk, so an interrupted or repeated run
+skips every stage it has already computed.
 """
 
 import argparse
@@ -31,11 +37,15 @@ def main() -> None:
         help="tiny workloads and the sweep-kernel subset (minutes, not tens)",
     )
     parser.add_argument("--out", default="results", help="output directory")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for sweep evaluation")
+    parser.add_argument("--cache-dir", default=None,
+                        help="persistent artifact store (reruns are free)")
     args = parser.parse_args()
 
     scale = Scale.tiny() if args.quick else Scale.small()
     config = GPUConfig(n_cores=2)
-    runner = Runner(config, scale)
+    runner = Runner(config, scale, jobs=args.jobs, cache_dir=args.cache_dir)
     os.makedirs(args.out, exist_ok=True)
 
     comparison_kernels = (
@@ -77,6 +87,9 @@ def main() -> None:
             save_series_csv(result, os.path.join(args.out, "%s.csv" % name))
         print(result.text)
         print("[%s done in %.1fs -> %s]\n" % (name, elapsed, path))
+
+    print("pipeline stage executions:", dict(runner.pipeline.counters))
+    print("pipeline stage cache hits:", dict(runner.pipeline.hits))
 
 
 if __name__ == "__main__":

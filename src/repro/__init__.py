@@ -19,14 +19,17 @@ Quickstart
 from repro.config import GPUConfig
 from repro.core.model import GPUMech, ModelInputs, Prediction
 from repro.core.cpi_stack import CPIStack, StallType
+from repro.pipeline import EvalRequest, Pipeline
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CPIStack",
+    "EvalRequest",
     "GPUConfig",
     "GPUMech",
     "ModelInputs",
+    "Pipeline",
     "Prediction",
     "StallType",
     "__version__",

@@ -21,12 +21,10 @@ import sys
 from typing import List, Optional
 
 from repro.config import GPUConfig
-from repro.core.model import GPUMech
 from repro.harness import experiments as ex
 from repro.harness.reporting import render_table
 from repro.harness.runner import MODEL_LABELS, MODELS, Runner
 from repro.harness.speedup import run_speedup
-from repro.timing.simulator import simulate_kernel
 from repro.trace.emulator import emulate
 from repro.workloads.generators import Scale
 from repro.workloads.suite import SUITE, get_kernel, kernel_names
@@ -62,6 +60,12 @@ def _add_machine_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scheduler", choices=("rr", "gto"), default="rr")
     parser.add_argument("--scale", choices=sorted(_SCALES), default="small",
                         help="workload scale preset")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for sweep points and "
+                        "per-warp profiling (default: serial)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persistent content-addressed artifact store; "
+                        "reruns skip every already-computed stage")
 
 
 def _machine(args) -> GPUConfig:
@@ -70,6 +74,16 @@ def _machine(args) -> GPUConfig:
         n_mshrs=args.mshrs,
         dram_bandwidth_gbps=args.bandwidth,
         scheduler=args.scheduler,
+    )
+
+
+def _runner(args) -> Runner:
+    """A pipeline-backed runner honouring ``--jobs``/``--cache-dir``."""
+    return Runner(
+        _machine(args),
+        _SCALES[args.scale](),
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
     )
 
 
@@ -87,12 +101,12 @@ def _cmd_list(args) -> int:
 
 
 def _cmd_predict(args) -> int:
-    config = _machine(args)
-    kernel, memory = get_kernel(args.kernel, _SCALES[args.scale]())
+    runner = _runner(args)
+    kernel, _ = get_kernel(args.kernel, _SCALES[args.scale]())
     print(kernel.describe())
-    model = GPUMech(config, selection_strategy=args.strategy)
-    trace = emulate(kernel, config, memory=memory)
-    inputs = model.prepare(trace=trace)
+    model, inputs = runner.prepare(
+        args.kernel, selection_strategy=args.strategy
+    )
     prediction = model.predict(inputs, warps_per_core=args.warps)
     print(prediction.summary())
     print(prediction.cpi_stack.render())
@@ -100,17 +114,14 @@ def _cmd_predict(args) -> int:
 
 
 def _cmd_simulate(args) -> int:
-    config = _machine(args)
-    kernel, memory = get_kernel(args.kernel, _SCALES[args.scale]())
-    trace = emulate(kernel, config, memory=memory)
-    stats = simulate_kernel(trace, config, warps_per_core=args.warps)
+    runner = _runner(args)
+    stats = runner.simulate(args.kernel, warps_per_core=args.warps)
     print(stats.summary())
     return 0
 
 
 def _cmd_validate(args) -> int:
-    config = _machine(args)
-    runner = Runner(config, _SCALES[args.scale]())
+    runner = _runner(args)
     result = runner.evaluate(args.kernel, warps_per_core=args.warps)
     rows = [
         (MODEL_LABELS[m], "%.3f" % result.model_cpis[m],
@@ -125,9 +136,7 @@ def _cmd_validate(args) -> int:
 
 
 def _cmd_experiment(args) -> int:
-    config = _machine(args)
-    runner = Runner(config, _SCALES[args.scale]())
-    result = _EXPERIMENTS[args.name](runner)
+    result = _EXPERIMENTS[args.name](_runner(args))
     print(result.text)
     return 0
 

@@ -17,12 +17,24 @@ i.e. ``core_clock_ghz * line_size_bytes / dram_bandwidth_gbps`` cycles
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 from dataclasses import dataclass, field, replace
-from typing import Dict
+from typing import Dict, FrozenSet, Iterable, Optional
 
 
 class ConfigError(ValueError):
     """Raised when a :class:`GPUConfig` fails validation."""
+
+
+#: Fields the *functional emulator* reads: they determine the dynamic
+#: trace (lane count, coalescing granularity, bank-conflict degrees).
+#: Changing any other field leaves the trace artifact valid — the
+#: invariant behind the paper's Sec. VI-D cost argument and the staged
+#: pipeline's invalidation rules (``repro.pipeline``).
+TRACE_FIELDS: FrozenSet[str] = frozenset(
+    {"warp_size", "simt_width", "line_size", "smem_banks"}
+)
 
 
 #: Instruction latencies (cycles) per operation class, following Table I
@@ -198,6 +210,36 @@ class GPUConfig:
         """Return a copy with the given fields replaced (sweep helper)."""
         return replace(self, **overrides)
 
+    # Fingerprints -----------------------------------------------------------
+
+    def fingerprint(self, fields: Optional[Iterable[str]] = None) -> str:
+        """Stable content hash of (a subset of) the configuration.
+
+        Two configs with equal values for ``fields`` share a fingerprint
+        regardless of how they were constructed (``with_()`` round-trips,
+        dict insertion order in ``op_latencies``, ...).  This is the cache
+        key primitive of ``repro.pipeline``: artifacts are addressed by
+        the fingerprint of exactly the fields their stage reads, so a
+        hardware-only override never invalidates the trace.
+        """
+        names = sorted(fields) if fields is not None else sorted(ALL_FIELDS)
+        items = []
+        for name in names:
+            value = getattr(self, name)
+            if isinstance(value, dict):
+                value = tuple(sorted(value.items()))
+            items.append((name, value))
+        digest = hashlib.sha256(repr(items).encode("utf-8"))
+        return digest.hexdigest()[:16]
+
+    def trace_fingerprint(self) -> str:
+        """Fingerprint of the trace-affecting fields only."""
+        return self.fingerprint(TRACE_FIELDS)
+
+    def hardware_fingerprint(self) -> str:
+        """Fingerprint of the hardware-only (trace-preserving) fields."""
+        return self.fingerprint(HARDWARE_FIELDS)
+
     # Presets ----------------------------------------------------------------
 
     @classmethod
@@ -213,3 +255,14 @@ class GPUConfig:
             n_cores=n_cores,
             max_threads_per_core=warps_per_core * 32,
         )
+
+
+#: Every :class:`GPUConfig` field name.
+ALL_FIELDS: FrozenSet[str] = frozenset(
+    f.name for f in dataclasses.fields(GPUConfig)
+)
+
+#: Fields that do *not* change the functional trace: caches, latencies,
+#: MSHRs, DRAM, scheduling, core count.  A sweep over these re-runs only
+#: the cache-simulation-and-later pipeline stages.
+HARDWARE_FIELDS: FrozenSet[str] = ALL_FIELDS - TRACE_FIELDS

@@ -18,19 +18,16 @@ from typing import List, Optional
 from repro.config import GPUConfig
 from repro.core.contention import ContentionResult, model_contention
 from repro.core.cpi_stack import CPIStack, build_cpi_stack
-from repro.core.interval import IntervalProfile, build_interval_profile
-from repro.core.latency import LatencyTable, build_latency_table
+from repro.core.interval import IntervalProfile
+from repro.core.latency import LatencyTable
 from repro.core.multithreading import (
     MultithreadingResult,
     kernel_alignment,
     model_multithreading,
 )
-from repro.core.representative import (
-    RepresentativeSelection,
-    select_representative,
-)
+from repro.core.representative import RepresentativeSelection
 from repro.isa.kernel import Kernel
-from repro.memory.cache_simulator import CacheSimResult, simulate_caches
+from repro.memory.cache_simulator import CacheSimResult
 from repro.trace.emulator import emulate
 from repro.trace.memory_image import MemoryImage
 from repro.trace.trace_types import KernelTrace
@@ -152,10 +149,23 @@ class GPUMech:
         config: GPUConfig,
         selection_strategy: str = "clustering",
         rr_mode: str = "probabilistic",
+        pipeline=None,
     ):
         self.config = config
         self.selection_strategy = selection_strategy
         self.rr_mode = rr_mode
+        #: The staged pipeline backing :meth:`prepare` (lazily created;
+        #: pass one explicitly to share its artifact store and counters).
+        self._pipeline = pipeline
+
+    @property
+    def pipeline(self):
+        """The :class:`repro.pipeline.Pipeline` this model runs through."""
+        if self._pipeline is None:
+            from repro.pipeline import Pipeline  # deferred: circular import
+
+            self._pipeline = Pipeline(self.config)
+        return self._pipeline
 
     # Stage 1: kernel-dependent, hardware-configuration-light ------------------
 
@@ -171,27 +181,20 @@ class GPUMech:
         ``warps_per_core`` sets the residency the cache simulator models
         (Sec. V-A: the cache sim uses the modeled system's warp count);
         pass the same override you will give :meth:`predict`.
+
+        The stage chain (cache sim → latency table → interval profiles →
+        clustering) runs through :attr:`pipeline`, so repeated calls for
+        the same trace and configuration are content-addressed cache hits.
         """
         if trace is None:
             if kernel is None:
                 raise ValueError("provide a kernel or a pre-computed trace")
             trace = emulate(kernel, self.config, memory=memory)
-        cache_result = simulate_caches(
-            trace, self.config, warps_per_core=warps_per_core
-        )
-        latency_table = build_latency_table(trace, cache_result, self.config)
-        profiles = [
-            build_interval_profile(w, latency_table, self.config.issue_rate)
-            for w in trace.warps
-        ]
-        selection = select_representative(profiles, self.selection_strategy)
-        return ModelInputs(
-            trace=trace,
-            cache_result=cache_result,
-            latency_table=latency_table,
-            profiles=profiles,
-            selection=selection,
-            avg_miss_latency=cache_result.avg_miss_latency(self.config),
+        return self.pipeline.model_inputs_from_trace(
+            trace,
+            config=self.config,
+            selection_strategy=self.selection_strategy,
+            warps_per_core=warps_per_core,
         )
 
     # Stage 2: multi-warp model ---------------------------------------------------

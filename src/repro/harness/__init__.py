@@ -10,6 +10,7 @@ from repro.harness.runner import (
     MODELS,
     KernelResult,
     Runner,
+    nanmean,
 )
 from repro.harness.reporting import render_series, render_table
 from repro.harness.sweeps import Sweep, SweepResult
@@ -27,6 +28,7 @@ __all__ = [
     "Runner",
     "Sweep",
     "SweepResult",
+    "nanmean",
     "render_series",
     "render_table",
     "render_validation",

@@ -11,13 +11,20 @@ asserted by ``tests/test_experiments.py`` and recorded in EXPERIMENTS.md.
 
 from __future__ import annotations
 
-import statistics
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.cpi_stack import StallType
 from repro.harness.reporting import render_series, render_table
-from repro.harness.runner import MODEL_LABELS, MODELS, KernelResult, Runner
+from repro.harness.runner import (
+    MODEL_LABELS,
+    MODELS,
+    KernelResult,
+    Runner,
+    nanmean,
+)
+from repro.pipeline import EvalRequest
 from repro.workloads.suite import kernel_names, kernels_with_tag
 
 #: Kernels used by the hardware-configuration sweeps (Fig. 13-15): a
@@ -69,9 +76,19 @@ class ExperimentResult:
 
 def _mean_errors(results: Sequence[KernelResult]) -> Dict[str, float]:
     return {
-        model: statistics.fmean(r.error(model) for r in results)
+        model: nanmean(r.error(model) for r in results)
         for model in MODELS
     }
+
+
+def _fraction_under(
+    results: Sequence[KernelResult], model: str, threshold: float = 0.20
+) -> float:
+    """Fraction of kernels with error below ``threshold`` (NaNs skipped)."""
+    return nanmean(
+        e if math.isnan(e) else (1.0 if e < threshold else 0.0)
+        for e in (r.error(model) for r in results)
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -122,13 +139,16 @@ def run_figure7(
         else kernels_with_tag("control_divergent")
     )
     strategies = ("max", "min", "clustering")
-    per_kernel: Dict[str, Dict[str, float]] = {}
-    for name in kernels:
-        errors = {}
-        for strategy in strategies:
-            result = runner.evaluate(name, selection_strategy=strategy)
-            errors[strategy] = result.error("mt_mshr_band")
-        per_kernel[name] = errors
+    requests = [
+        EvalRequest(kernel=name, selection_strategy=strategy)
+        for name in kernels
+        for strategy in strategies
+    ]
+    results = iter(runner.evaluate_many(requests))
+    per_kernel: Dict[str, Dict[str, float]] = {
+        name: {s: next(results).error("mt_mshr_band") for s in strategies}
+        for name in kernels
+    }
     ordered = sorted(per_kernel, key=lambda k: per_kernel[k]["clustering"])
     rows = [
         (name,)
@@ -136,7 +156,7 @@ def run_figure7(
         for name in ordered
     ]
     means = {
-        s: statistics.fmean(per_kernel[k][s] for k in per_kernel)
+        s: nanmean(per_kernel[k][s] for k in per_kernel)
         for s in strategies
     }
     rows.append(
@@ -165,7 +185,9 @@ def run_model_comparison(
 ) -> ExperimentResult:
     """Per-kernel errors of all Table II models under one policy."""
     kernels = list(kernels) if kernels is not None else kernel_names()
-    results = [runner.evaluate(name, policy=policy) for name in kernels]
+    results = runner.evaluate_many(
+        [EvalRequest(kernel=name, policy=policy) for name in kernels]
+    )
     rows = []
     for result in results:
         rows.append(
@@ -176,12 +198,8 @@ def run_model_comparison(
     rows.append(
         ("MEAN",) + tuple("%.1f%%" % (100 * means[m]) for m in MODELS)
     )
-    gpumech_under_20 = statistics.fmean(
-        1.0 if r.error("mt_mshr_band") < 0.20 else 0.0 for r in results
-    )
-    markov_under_20 = statistics.fmean(
-        1.0 if r.error("markov") < 0.20 else 0.0 for r in results
-    )
+    gpumech_under_20 = _fraction_under(results, "mt_mshr_band")
+    markov_under_20 = _fraction_under(results, "markov")
     figure = "figure11" if policy == "rr" else "figure12"
     text = render_table(
         ("kernel",) + tuple(MODEL_LABELS[m] for m in MODELS),
@@ -229,13 +247,22 @@ def _sweep(
     figure: str,
     x_label: str,
     x_values: Sequence,
-    evaluate,
+    request_for,
     kernels: Sequence[str],
 ) -> ExperimentResult:
+    """Fan every (kernel × sweep point) out through the pipeline at once.
+
+    ``request_for(name, x)`` builds the :class:`EvalRequest` of one
+    point; with ``runner.jobs > 1`` the whole grid runs in parallel.
+    """
+    requests = [
+        request_for(name, x) for x in x_values for name in kernels
+    ]
+    flat = iter(runner.evaluate_many(requests))
     series: Dict[str, List[float]] = {MODEL_LABELS[m]: [] for m in MODELS}
     all_results: Dict = {}
     for x in x_values:
-        results = [evaluate(name, x) for name in kernels]
+        results = [next(flat) for _ in kernels]
         all_results[x] = results
         means = _mean_errors(results)
         for model in MODELS:
@@ -264,7 +291,7 @@ def run_figure13(
         "figure13",
         "warps/core",
         warp_counts,
-        lambda name, warps: runner.evaluate(name, warps_per_core=warps),
+        lambda name, warps: EvalRequest(kernel=name, warps_per_core=warps),
         kernels,
     )
 
@@ -280,8 +307,8 @@ def run_figure14(
         "figure14",
         "MSHRs",
         mshr_counts,
-        lambda name, mshrs: runner.evaluate(
-            name, config=runner.config.with_(n_mshrs=mshrs)
+        lambda name, mshrs: EvalRequest(
+            kernel=name, config=runner.config.with_(n_mshrs=mshrs)
         ),
         kernels,
     )
@@ -298,8 +325,8 @@ def run_figure15(
         "figure15",
         "GB/s",
         bandwidths,
-        lambda name, gbps: runner.evaluate(
-            name, config=runner.config.with_(dram_bandwidth_gbps=gbps)
+        lambda name, gbps: EvalRequest(
+            kernel=name, config=runner.config.with_(dram_bandwidth_gbps=gbps)
         ),
         kernels,
     )
@@ -323,12 +350,21 @@ def run_figure16(
     sections: List[str] = []
     data: Dict[str, Dict] = {}
     categories = [t for t in StallType]
+    flat = iter(
+        runner.evaluate_many(
+            [
+                EvalRequest(kernel=name, warps_per_core=warps)
+                for name in kernels
+                for warps in warp_counts
+            ]
+        )
+    )
     for name in kernels:
         rows = []
         norm = None
         kernel_data: Dict[int, Dict] = {}
         for warps in warp_counts:
-            result = runner.evaluate(name, warps_per_core=warps)
+            result = next(flat)
             if norm is None:
                 norm = result.oracle_cpi or 1.0
             stack = result.prediction.cpi_stack

@@ -1,11 +1,12 @@
 """Model-vs-oracle evaluation of one kernel (the Table II comparison).
 
-:class:`Runner` owns the expensive per-kernel artifacts and caches the
-functional trace — traces are machine-independent (the coalescing
-granularity never changes across the paper's sweeps), so a hardware sweep
-re-runs only the cache simulation, the representative warp's interval
-profile and the analytical model, exactly the cost structure the paper
-describes in Sec. VI-D.
+:class:`Runner` is a thin facade over :class:`repro.pipeline.Pipeline`:
+every expensive artifact (functional trace, cache simulation, interval
+profiles, oracle run) is content-addressed by the fingerprint of exactly
+the configuration fields it depends on, so a hardware sweep re-runs only
+the cache-sim-and-later stages — the cost structure the paper describes
+in Sec. VI-D.  ``jobs > 1`` fans independent (kernel × sweep-point) work
+out over processes; ``cache_dir`` persists artifacts across runs.
 
 Evaluated models (Table II):
 
@@ -20,19 +21,16 @@ Evaluated models (Table II):
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.config import GPUConfig
-from repro.baselines.markov import markov_chain_cpi
-from repro.baselines.naive import naive_interval_cpi
-from repro.core.model import GPUMech, ModelInputs, Prediction, resident_warps_per_core
-from repro.timing.simulator import TimingSimulator
+from repro.core.model import GPUMech, ModelInputs, Prediction
+from repro.pipeline import ArtifactStore, EvalRequest, Pipeline
 from repro.timing.stats import SimStats
-from repro.trace.emulator import emulate
 from repro.trace.trace_types import KernelTrace
 from repro.workloads.generators import Scale
-from repro.workloads.suite import SUITE
 
 #: Evaluation order of Table II.
 MODELS = ("naive", "markov", "mt", "mt_mshr", "mt_mshr_band")
@@ -45,6 +43,19 @@ MODEL_LABELS = {
     "mt_mshr": "MT_MSHR",
     "mt_mshr_band": "MT_MSHR_BAND",
 }
+
+
+def nanmean(values: Iterable[float]) -> float:
+    """Mean over the finite values, ``nan`` if none remain.
+
+    Degenerate oracle runs report ``nan`` errors (see
+    :meth:`KernelResult.error`); aggregations skip them rather than
+    letting one broken point poison a whole sweep series.
+    """
+    finite = [v for v in values if not math.isnan(v)]
+    if not finite:
+        return float("nan")
+    return sum(finite) / len(finite)
 
 
 @dataclass
@@ -60,9 +71,14 @@ class KernelResult:
     prediction: Prediction  # the full GPUMech prediction (stack etc.)
 
     def error(self, model: str) -> float:
-        """Relative CPI error of a model against the oracle."""
+        """Relative CPI error of a model against the oracle.
+
+        A degenerate oracle run (zero CPI) has no meaningful error;
+        report ``nan`` — never a silently perfect ``0.0`` — and let
+        aggregations skip it (:func:`nanmean`).
+        """
         if not self.oracle_cpi:
-            return 0.0
+            return float("nan")
         return abs(self.model_cpis[model] - self.oracle_cpi) / self.oracle_cpi
 
     def errors(self) -> Dict[str, float]:
@@ -71,24 +87,52 @@ class KernelResult:
 
 
 class Runner:
-    """Evaluates suite kernels against the oracle under config sweeps."""
+    """Evaluates suite kernels against the oracle under config sweeps.
 
-    def __init__(self, config: GPUConfig, scale: Optional[Scale] = None):
+    Parameters
+    ----------
+    config:
+        Machine description (Table I) every evaluation defaults to.
+    scale:
+        Workload scale the suite kernels are built at (trace cache keys
+        include it, so one process can hold runners at several scales).
+    jobs:
+        Process-pool width for :meth:`evaluate_many` and the per-warp
+        profile loop; 1 (the default) runs everything serially.
+    cache_dir:
+        Optional directory for a persistent on-disk artifact store
+        (content-addressed; safe to share across runs and processes).
+    store:
+        Pre-built :class:`~repro.pipeline.ArtifactStore` (mutually
+        exclusive with ``cache_dir``).
+    """
+
+    def __init__(
+        self,
+        config: GPUConfig,
+        scale: Optional[Scale] = None,
+        jobs: int = 1,
+        cache_dir: Optional[str] = None,
+        store: Optional[ArtifactStore] = None,
+    ):
         self.config = config
         self.scale = scale if scale is not None else Scale.small()
-        self._traces: Dict[str, KernelTrace] = {}
-        # Oracle results are deterministic in (kernel, machine, residency):
-        # cache them so e.g. the Fig. 7 strategy comparison simulates once.
-        self._oracle_cache: Dict[tuple, SimStats] = {}
+        self.pipeline = Pipeline(
+            config,
+            scale=self.scale,
+            store=store,
+            cache_dir=cache_dir,
+            jobs=jobs,
+        )
+
+    @property
+    def jobs(self) -> int:
+        """Process-pool width used for parallel evaluation."""
+        return self.pipeline.jobs
 
     def trace(self, kernel_name: str) -> KernelTrace:
         """The (cached) functional trace of a suite kernel."""
-        cached = self._traces.get(kernel_name)
-        if cached is None:
-            kernel, memory = SUITE[kernel_name].build(self.scale)
-            cached = emulate(kernel, self.config, memory=memory)
-            self._traces[kernel_name] = cached
-        return cached
+        return self.pipeline.trace(kernel_name)
 
     def prepare(
         self,
@@ -99,9 +143,16 @@ class Runner:
     ) -> Tuple[GPUMech, ModelInputs]:
         """Run the input collector + single-warp model for one kernel."""
         config = config if config is not None else self.config
-        model = GPUMech(config, selection_strategy=selection_strategy)
-        inputs = model.prepare(
-            trace=self.trace(kernel_name), warps_per_core=warps_per_core
+        inputs = self.pipeline.model_inputs(
+            kernel_name,
+            config,
+            selection_strategy=selection_strategy,
+            warps_per_core=warps_per_core,
+        )
+        model = GPUMech(
+            config,
+            selection_strategy=selection_strategy,
+            pipeline=self.pipeline,
         )
         return model, inputs
 
@@ -111,15 +162,8 @@ class Runner:
         config: Optional[GPUConfig] = None,
         warps_per_core: Optional[int] = None,
     ) -> SimStats:
-        """Run the timing oracle for one kernel (memoised)."""
-        config = config if config is not None else self.config
-        key = (kernel_name, warps_per_core, repr(config))
-        cached = self._oracle_cache.get(key)
-        if cached is None:
-            simulator = TimingSimulator(config, warps_per_core=warps_per_core)
-            cached = simulator.run(self.trace(kernel_name))
-            self._oracle_cache[key] = cached
-        return cached
+        """Run the timing oracle for one kernel (content-addressed)."""
+        return self.pipeline.simulate(kernel_name, config, warps_per_core)
 
     def evaluate(
         self,
@@ -130,31 +174,22 @@ class Runner:
         selection_strategy: str = "clustering",
     ) -> KernelResult:
         """Oracle + all five Table II models on one kernel."""
-        config = config if config is not None else self.config
-        if policy is not None:
-            config = config.with_(scheduler=policy)
-        oracle = self.simulate(kernel_name, config, warps_per_core)
-        model, inputs = self.prepare(
-            kernel_name, config, selection_strategy=selection_strategy,
+        return self.pipeline.evaluate(
+            kernel_name,
+            config=config,
+            policy=policy,
             warps_per_core=warps_per_core,
+            selection_strategy=selection_strategy,
         )
-        n_warps = resident_warps_per_core(inputs.trace, config, warps_per_core)
-        prediction = model.predict(inputs, n_warps=n_warps)
-        representative = inputs.representative
-        mt_cpi = prediction.cpi_multithreading
-        model_cpis = {
-            "naive": naive_interval_cpi(representative, n_warps),
-            "markov": markov_chain_cpi(representative, n_warps),
-            "mt": mt_cpi,
-            "mt_mshr": mt_cpi + prediction.cpi_mshr,
-            "mt_mshr_band": prediction.cpi,
-        }
-        return KernelResult(
-            kernel=kernel_name,
-            policy=config.scheduler,
-            n_warps=n_warps,
-            oracle_cpi=oracle.cpi,
-            model_cpis=model_cpis,
-            oracle=oracle,
-            prediction=prediction,
-        )
+
+    def evaluate_many(
+        self,
+        requests: Sequence[Union[EvalRequest, dict]],
+        jobs: Optional[int] = None,
+    ) -> List[KernelResult]:
+        """Evaluate many sweep points, in parallel when ``jobs > 1``.
+
+        Results come back in request order, bitwise-identical to serial
+        execution.
+        """
+        return self.pipeline.evaluate_many(requests, jobs=jobs)

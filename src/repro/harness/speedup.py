@@ -15,13 +15,9 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.interval import build_interval_profile
-from repro.core.latency import build_latency_table
-from repro.core.model import GPUMech
-from repro.core.representative import select_representative
 from repro.harness.reporting import render_table
 from repro.harness.runner import Runner
-from repro.memory.cache_simulator import simulate_caches
+from repro.pipeline import MemoryStore, Pipeline
 from repro.timing.simulator import TimingSimulator
 
 
@@ -86,8 +82,8 @@ def measure_speedup(
     for name in kernels:
         trace = runner.trace(name)  # warm the cache; not timed
 
-        # Bypass the runner's oracle memoisation: this is a timing
-        # measurement, not a result lookup.
+        # Bypass all memoisation: this is a timing measurement, not a
+        # result lookup.
         start = time.perf_counter()
         TimingSimulator(config).run(trace)
         oracle_seconds = time.perf_counter() - start
@@ -98,34 +94,17 @@ def measure_speedup(
             TimingSimulator(config, cycle_skipping=False).run(trace)
             naive_seconds = time.perf_counter() - start
 
-        start = time.perf_counter()
-        cache_result = simulate_caches(trace, config)
-        latency_table = build_latency_table(trace, cache_result, config)
-        cache_sim_seconds = time.perf_counter() - start
-
-        start = time.perf_counter()
-        profiles = [
-            build_interval_profile(w, latency_table, config.issue_rate)
-            for w in trace.warps
-        ]
-        selection = select_representative(profiles)
-        profiling_seconds = time.perf_counter() - start
-
-        start = time.perf_counter()
-        model = GPUMech(config)
-        inputs_avg = cache_result.avg_miss_latency(config)
-        from repro.core.model import ModelInputs  # local to avoid cycle noise
-
-        inputs = ModelInputs(
-            trace=trace,
-            cache_result=cache_result,
-            latency_table=latency_table,
-            profiles=profiles,
-            selection=selection,
-            avg_miss_latency=inputs_avg,
+        # A fresh cold pipeline per kernel: every stage executes exactly
+        # once and its wall-clock lands in ``pipeline.timings``.
+        pipeline = Pipeline(config, scale=runner.scale, store=MemoryStore())
+        pipeline.store.put(pipeline.trace_key(name), trace)
+        pipeline.predict(name)
+        timings = pipeline.timings
+        cache_sim_seconds = timings["cache_sim"] + timings["latency_table"]
+        profiling_seconds = (
+            timings["interval_profiles"] + timings["clustering"]
         )
-        model.predict(inputs)
-        predict_seconds = time.perf_counter() - start
+        predict_seconds = timings["predict"]
 
         result = SpeedupResult(
             kernel=name,

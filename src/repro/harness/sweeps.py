@@ -23,7 +23,8 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.config import GPUConfig
 from repro.harness.reporting import render_table
-from repro.harness.runner import KernelResult, Runner
+from repro.harness.runner import KernelResult, Runner, nanmean
+from repro.pipeline import EvalRequest
 
 
 class SweepError(ValueError):
@@ -38,8 +39,8 @@ class SweepPoint:
     results: Dict[str, KernelResult]
 
     def mean_error(self, model: str = "mt_mshr_band") -> float:
-        """Mean relative error of one model at this point."""
-        return statistics.fmean(
+        """Mean relative error of one model at this point (NaNs skipped)."""
+        return nanmean(
             r.error(model) for r in self.results.values()
         )
 
@@ -126,20 +127,33 @@ class Sweep:
         self.parameter = parameter
         self.values = list(values)
 
+    def request(self, runner: Runner, kernel: str, value: object) -> EvalRequest:
+        """The pipeline request of one (kernel × value) sweep point."""
+        if self.parameter == "warps_per_core":
+            return EvalRequest(kernel=kernel, warps_per_core=int(value))
+        return EvalRequest(
+            kernel=kernel,
+            config=runner.config.with_(**{self.parameter: value}),
+        )
+
     def run(self, runner: Runner, kernels: Sequence[str]) -> SweepResult:
-        """Evaluate oracle + all models at every sweep point."""
+        """Evaluate oracle + all models at every sweep point.
+
+        The whole (value × kernel) grid goes through
+        :meth:`Runner.evaluate_many` in one batch, so a runner with
+        ``jobs > 1`` evaluates points in parallel and a warm artifact
+        store skips everything already computed.
+        """
+        requests = [
+            self.request(runner, kernel, value)
+            for value in self.values
+            for kernel in kernels
+        ]
+        flat = iter(runner.evaluate_many(requests))
         result = SweepResult(parameter=self.parameter)
         for value in self.values:
-            point_results: Dict[str, KernelResult] = {}
-            for kernel in kernels:
-                if self.parameter == "warps_per_core":
-                    point_results[kernel] = runner.evaluate(
-                        kernel, warps_per_core=int(value)
-                    )
-                else:
-                    config = runner.config.with_(**{self.parameter: value})
-                    point_results[kernel] = runner.evaluate(
-                        kernel, config=config
-                    )
+            point_results: Dict[str, KernelResult] = {
+                kernel: next(flat) for kernel in kernels
+            }
             result.points.append(SweepPoint(value=value, results=point_results))
         return result

@@ -15,6 +15,7 @@ actually needs.  This module computes, over a set of
 
 from __future__ import annotations
 
+import math
 import statistics
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
@@ -42,9 +43,26 @@ class ModelValidation:
 def validate_model(
     results: Sequence[KernelResult], model: str
 ) -> ModelValidation:
-    """Compute all metrics for one model."""
+    """Compute all metrics for one model.
+
+    Results with a degenerate oracle (``nan`` error) are excluded from
+    every statistic rather than silently counted as perfect.
+    """
     if not results:
         raise ValueError("no results to validate")
+    results = [r for r in results if not math.isnan(r.error(model))]
+    if not results:
+        nan = float("nan")
+        return ModelValidation(
+            model=model,
+            n=0,
+            mean_error=nan,
+            median_error=nan,
+            max_error=nan,
+            fraction_under_20pct=nan,
+            pearson_r=nan,
+            spearman_rho=nan,
+        )
     errors = [r.error(model) for r in results]
     predicted = [r.model_cpis[model] for r in results]
     measured = [r.oracle_cpi for r in results]

@@ -10,7 +10,7 @@ that strictly post-dominate their branches, and a terminating ``exit``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 from repro.isa.instructions import Instruction, OpClass
 

@@ -1,0 +1,31 @@
+"""Staged artifact pipeline (Fig. 5 as a cached, parallel DAG).
+
+``stages`` declares the typed stage DAG and which ``GPUConfig`` fields
+each stage reads; ``store`` provides content-addressed artifact stores
+(memory, disk, tiered); ``pipeline`` executes the DAG with memoisation,
+execution counters/timings and ``ProcessPoolExecutor`` sweep fan-out.
+"""
+
+from repro.pipeline.pipeline import EvalRequest, Pipeline
+from repro.pipeline.stages import STAGES, StageSpec, stage_key, trace_digest
+from repro.pipeline.store import (
+    ArtifactStore,
+    DiskStore,
+    MemoryStore,
+    TieredStore,
+    open_store,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "DiskStore",
+    "EvalRequest",
+    "MemoryStore",
+    "Pipeline",
+    "STAGES",
+    "StageSpec",
+    "TieredStore",
+    "open_store",
+    "stage_key",
+    "trace_digest",
+]

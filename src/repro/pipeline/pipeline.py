@@ -1,0 +1,434 @@
+"""The staged artifact pipeline: cached stage execution + parallel sweeps.
+
+:class:`Pipeline` reifies the Fig. 5 dataflow declared in
+``repro.pipeline.stages``.  Every stage execution is
+
+1. *keyed* — a content-addressed key from the kernel identity, the
+   workload scale, the fingerprint of exactly the config fields the
+   stage reads, and the keys of its upstream artifacts;
+2. *memoised* — looked up in an :class:`~repro.pipeline.store.ArtifactStore`
+   (in-memory by default; memory-fronted disk with ``cache_dir``), so a
+   hardware sweep automatically re-runs only the cache-sim-and-later
+   stages and a repeated sweep re-runs nothing at all;
+3. *counted and timed* — ``pipeline.counters[stage]`` is the number of
+   real executions (cache misses) and ``pipeline.timings[stage]`` their
+   cumulative wall-clock, which is what the speedup harness and the
+   invalidation tests read.
+
+Independent (kernel × sweep-point) evaluations fan out over a
+``ProcessPoolExecutor`` via :meth:`Pipeline.evaluate_many`; the per-warp
+interval-profile loop of a single evaluation fans out the same way when
+``jobs > 1``.  Parallel execution is bitwise-deterministic: workers run
+the identical pure stage functions and results are collected in request
+order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections import Counter, defaultdict
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.config import GPUConfig
+from repro.pipeline.stages import (
+    compute_cache_sim,
+    compute_clustering,
+    compute_latency_table,
+    compute_oracle,
+    compute_profiles,
+    compute_trace,
+    stage_key,
+    trace_digest,
+)
+from repro.pipeline.store import ArtifactStore, open_store
+from repro.workloads.generators import Scale
+
+#: Minimum warps before the per-warp profile loop is worth forking for.
+_PARALLEL_WARP_THRESHOLD = 8
+
+
+@dataclass(frozen=True)
+class EvalRequest:
+    """One (kernel × configuration) point of a sweep."""
+
+    kernel: str
+    config: Optional[GPUConfig] = None
+    policy: Optional[str] = None
+    warps_per_core: Optional[int] = None
+    selection_strategy: str = "clustering"
+
+
+def _mp_context():
+    """Prefer fork (workers inherit the warm in-memory store for free)."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+# Worker-process globals (set once per worker by the pool initializer).
+_WORKER_PIPELINE: Optional["Pipeline"] = None
+
+
+def _init_worker(pipeline: "Pipeline") -> None:
+    global _WORKER_PIPELINE
+    _WORKER_PIPELINE = pipeline
+    _WORKER_PIPELINE.jobs = 1  # no nested pools inside workers
+
+
+def _evaluate_in_worker(request: EvalRequest):
+    return _WORKER_PIPELINE.evaluate(
+        request.kernel,
+        config=request.config,
+        policy=request.policy,
+        warps_per_core=request.warps_per_core,
+        selection_strategy=request.selection_strategy,
+    )
+
+
+def _profile_chunk(args):
+    warps, latency_table, issue_rate = args
+    return compute_profiles(warps, latency_table, issue_rate)
+
+
+class Pipeline:
+    """Cached, parallel execution of the GPUMech stage DAG."""
+
+    def __init__(
+        self,
+        config: GPUConfig,
+        scale: Optional[Scale] = None,
+        store: Optional[ArtifactStore] = None,
+        cache_dir: Optional[str] = None,
+        jobs: int = 1,
+        rr_mode: str = "probabilistic",
+    ):
+        if store is not None and cache_dir is not None:
+            raise ValueError("pass either store or cache_dir, not both")
+        self.config = config
+        self.scale = scale if scale is not None else Scale.small()
+        self.store = store if store is not None else open_store(cache_dir)
+        self.jobs = max(1, int(jobs))
+        self.rr_mode = rr_mode
+        #: Real stage executions (store misses), keyed by stage name.
+        self.counters: Counter = Counter()
+        #: Store hits, keyed by stage name.
+        self.hits: Counter = Counter()
+        #: Cumulative compute seconds per stage (misses only).
+        self.timings: Dict[str, float] = defaultdict(float)
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _scale_part(self) -> tuple:
+        return (self.scale.n_blocks, self.scale.block_size, self.scale.iters)
+
+    def _execute(self, stage: str, key: str, compute: Callable):
+        """Store lookup, else compute + record + put."""
+        artifact = self.store.get(key)
+        if artifact is not None:
+            self.hits[stage] += 1
+            return artifact
+        start = time.perf_counter()
+        artifact = compute()
+        self.timings[stage] += time.perf_counter() - start
+        self.counters[stage] += 1
+        self.store.put(key, artifact)
+        return artifact
+
+    def _effective_config(
+        self, config: Optional[GPUConfig], policy: Optional[str] = None
+    ) -> GPUConfig:
+        config = config if config is not None else self.config
+        if policy is not None and policy != config.scheduler:
+            config = config.with_(scheduler=policy)
+        return config
+
+    # -- stage accessors ----------------------------------------------------
+
+    def trace_key(self, kernel_name: str, config: Optional[GPUConfig] = None):
+        config = self._effective_config(config)
+        return stage_key("trace", config, kernel_name, self._scale_part())
+
+    def trace(self, kernel_name: str, config: Optional[GPUConfig] = None):
+        """The (cached) functional trace of a suite kernel."""
+        config = self._effective_config(config)
+        key = self.trace_key(kernel_name, config)
+        return self._execute(
+            "trace", key, lambda: compute_trace(kernel_name, self.scale, config)
+        )
+
+    def _cache_sim(self, trace, trace_key_, config, warps_per_core):
+        key = stage_key("cache_sim", config, trace_key_, warps_per_core)
+        return (
+            self._execute(
+                "cache_sim",
+                key,
+                lambda: compute_cache_sim(trace, config, warps_per_core),
+            ),
+            key,
+        )
+
+    def _latency_table(self, trace, cache_result, cache_key, config):
+        key = stage_key("latency_table", config, cache_key)
+        return (
+            self._execute(
+                "latency_table",
+                key,
+                lambda: compute_latency_table(trace, cache_result, config),
+            ),
+            key,
+        )
+
+    def _profiles(self, trace, latency_table, latency_key, config):
+        key = stage_key("interval_profiles", config, latency_key)
+        return (
+            self._execute(
+                "interval_profiles",
+                key,
+                lambda: self._compute_profiles(trace, latency_table, config),
+            ),
+            key,
+        )
+
+    def _compute_profiles(self, trace, latency_table, config):
+        warps = trace.warps
+        issue_rate = config.issue_rate
+        if self.jobs <= 1 or len(warps) < _PARALLEL_WARP_THRESHOLD:
+            return compute_profiles(warps, latency_table, issue_rate)
+        # Fan the per-warp Eq. 4 scans out across processes in order-
+        # preserving chunks (one of the two dominant per-configuration
+        # costs, Sec. VI-D).
+        n_chunks = min(self.jobs * 2, len(warps))
+        bounds = [
+            (len(warps) * i) // n_chunks for i in range(n_chunks + 1)
+        ]
+        chunks = [
+            (warps[bounds[i]:bounds[i + 1]], latency_table, issue_rate)
+            for i in range(n_chunks)
+            if bounds[i] < bounds[i + 1]
+        ]
+        with ProcessPoolExecutor(
+            max_workers=self.jobs, mp_context=_mp_context()
+        ) as pool:
+            parts = list(pool.map(_profile_chunk, chunks))
+        return [profile for part in parts for profile in part]
+
+    def _clustering(self, profiles, profiles_key, config, strategy):
+        key = stage_key("clustering", config, profiles_key, strategy)
+        return (
+            self._execute(
+                "clustering", key, lambda: compute_clustering(profiles, strategy)
+            ),
+            key,
+        )
+
+    # -- public products ----------------------------------------------------
+
+    def model_inputs(
+        self,
+        kernel_name: str,
+        config: Optional[GPUConfig] = None,
+        selection_strategy: str = "clustering",
+        warps_per_core: Optional[int] = None,
+    ):
+        """Fig. 5 left side for a suite kernel: trace → ... → clustering."""
+        config = self._effective_config(config)
+        trace = self.trace(kernel_name, config)
+        return self.model_inputs_from_trace(
+            trace,
+            config=config,
+            selection_strategy=selection_strategy,
+            warps_per_core=warps_per_core,
+            trace_key_=self.trace_key(kernel_name, config),
+        )
+
+    def model_inputs_from_trace(
+        self,
+        trace,
+        config: Optional[GPUConfig] = None,
+        selection_strategy: str = "clustering",
+        warps_per_core: Optional[int] = None,
+        trace_key_: Optional[str] = None,
+    ):
+        """Fig. 5 left side for an externally supplied trace."""
+        from repro.core.model import ModelInputs  # circular at import time
+
+        config = self._effective_config(config)
+        if trace_key_ is None:
+            trace_key_ = "trace:" + trace_digest(trace)
+        cache_result, cache_key = self._cache_sim(
+            trace, trace_key_, config, warps_per_core
+        )
+        latency_table, latency_key = self._latency_table(
+            trace, cache_result, cache_key, config
+        )
+        profiles, profiles_key = self._profiles(
+            trace, latency_table, latency_key, config
+        )
+        selection, _ = self._clustering(
+            profiles, profiles_key, config, selection_strategy
+        )
+        return ModelInputs(
+            trace=trace,
+            cache_result=cache_result,
+            latency_table=latency_table,
+            profiles=profiles,
+            selection=selection,
+            avg_miss_latency=cache_result.avg_miss_latency(config),
+        )
+
+    def simulate(
+        self,
+        kernel_name: str,
+        config: Optional[GPUConfig] = None,
+        warps_per_core: Optional[int] = None,
+    ):
+        """Run the cycle-level timing oracle (cached on the full config)."""
+        config = self._effective_config(config)
+        trace = self.trace(kernel_name, config)
+        key = stage_key(
+            "oracle",
+            config,
+            self.trace_key(kernel_name, config),
+            warps_per_core,
+        )
+        return self._execute(
+            "oracle", key, lambda: compute_oracle(trace, config, warps_per_core)
+        )
+
+    def predict(
+        self,
+        kernel_name: str,
+        config: Optional[GPUConfig] = None,
+        policy: Optional[str] = None,
+        warps_per_core: Optional[int] = None,
+        n_warps: Optional[int] = None,
+        selection_strategy: str = "clustering",
+    ):
+        """GPUMech prediction through the cached stage chain."""
+        from repro.core.model import GPUMech, resident_warps_per_core
+
+        config = self._effective_config(config, policy)
+        inputs = self.model_inputs(
+            kernel_name,
+            config,
+            selection_strategy=selection_strategy,
+            warps_per_core=warps_per_core,
+        )
+        if n_warps is None:
+            n_warps = resident_warps_per_core(inputs.trace, config, warps_per_core)
+        key = stage_key(
+            "predict",
+            config,
+            self.trace_key(kernel_name, config),
+            warps_per_core,
+            n_warps,
+            selection_strategy,
+            self.rr_mode,
+        )
+        model = GPUMech(
+            config,
+            selection_strategy=selection_strategy,
+            rr_mode=self.rr_mode,
+            pipeline=self,
+        )
+        return self._execute(
+            "predict", key, lambda: model.predict(inputs, n_warps=n_warps)
+        )
+
+    def evaluate(
+        self,
+        kernel_name: str,
+        config: Optional[GPUConfig] = None,
+        policy: Optional[str] = None,
+        warps_per_core: Optional[int] = None,
+        selection_strategy: str = "clustering",
+    ):
+        """Oracle + all Table II models on one kernel (one sweep point)."""
+        from repro.baselines.markov import markov_chain_cpi
+        from repro.baselines.naive import naive_interval_cpi
+        from repro.core.model import resident_warps_per_core
+        from repro.harness.runner import KernelResult  # circular at import
+
+        config = self._effective_config(config, policy)
+        oracle = self.simulate(kernel_name, config, warps_per_core)
+        inputs = self.model_inputs(
+            kernel_name,
+            config,
+            selection_strategy=selection_strategy,
+            warps_per_core=warps_per_core,
+        )
+        n_warps = resident_warps_per_core(inputs.trace, config, warps_per_core)
+        prediction = self.predict(
+            kernel_name,
+            config,
+            warps_per_core=warps_per_core,
+            n_warps=n_warps,
+            selection_strategy=selection_strategy,
+        )
+        representative = inputs.representative
+        mt_cpi = prediction.cpi_multithreading
+        model_cpis = {
+            "naive": naive_interval_cpi(representative, n_warps),
+            "markov": markov_chain_cpi(representative, n_warps),
+            "mt": mt_cpi,
+            "mt_mshr": mt_cpi + prediction.cpi_mshr,
+            "mt_mshr_band": prediction.cpi,
+        }
+        return KernelResult(
+            kernel=kernel_name,
+            policy=config.scheduler,
+            n_warps=n_warps,
+            oracle_cpi=oracle.cpi,
+            model_cpis=model_cpis,
+            oracle=oracle,
+            prediction=prediction,
+        )
+
+    # -- parallel sweep execution -------------------------------------------
+
+    def evaluate_many(
+        self,
+        requests: Sequence[Union[EvalRequest, dict]],
+        jobs: Optional[int] = None,
+    ) -> List:
+        """Evaluate many (kernel × configuration) points, possibly in
+        parallel.
+
+        Results come back in request order and are bitwise-identical to
+        serial execution.  With ``jobs > 1`` the shared traces are warmed
+        in the parent first (they are sweep-invariant), then points fan
+        out over a process pool; artifacts computed inside workers reach
+        the parent only through a shared on-disk store, so pass
+        ``cache_dir`` when cross-run reuse matters.
+        """
+        requests = [
+            r if isinstance(r, EvalRequest) else EvalRequest(**r)
+            for r in requests
+        ]
+        jobs = self.jobs if jobs is None else max(1, int(jobs))
+        if jobs <= 1 or len(requests) <= 1:
+            return [_evaluate_with(self, r) for r in requests]
+        for request in requests:  # warm shared traces (deduped by the store)
+            self.trace(
+                request.kernel,
+                self._effective_config(request.config, request.policy),
+            )
+        with ProcessPoolExecutor(
+            max_workers=jobs,
+            mp_context=_mp_context(),
+            initializer=_init_worker,
+            initargs=(self,),
+        ) as pool:
+            return list(pool.map(_evaluate_in_worker, requests))
+
+
+def _evaluate_with(pipeline: Pipeline, request: EvalRequest):
+    return pipeline.evaluate(
+        request.kernel,
+        config=request.config,
+        policy=request.policy,
+        warps_per_core=request.warps_per_core,
+        selection_strategy=request.selection_strategy,
+    )

@@ -1,0 +1,200 @@
+"""Typed stage definitions: the Fig. 5 dataflow as a declarative DAG.
+
+Each :class:`StageSpec` names its upstream stages and — crucially — the
+exact :class:`~repro.config.GPUConfig` fields it reads.  Cache keys are
+derived from those field subsets, so the pipeline knows *structurally*
+which artifacts a configuration override invalidates:
+
+====================  =====================================================
+``trace``             functional emulation (config: trace fields only)
+``cache_sim``         functional cache replay (cache geometry + residency)
+``latency_table``     per-PC AMAT (latency parameters)
+``interval_profiles`` per-warp Eq. 4 scan (issue bandwidth)
+``clustering``        representative-warp selection (strategy parameter)
+``predict``           multi-warp analytical model (full config)
+``oracle``            cycle-level timing simulation (full config)
+====================  =====================================================
+
+The compute functions are pure: everything they need arrives as an
+argument, nothing is read from ambient state — which is what makes them
+safe to fan out across processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Tuple
+
+from repro.config import ALL_FIELDS, TRACE_FIELDS, GPUConfig
+from repro.core.interval import build_interval_profile
+from repro.core.latency import build_latency_table
+from repro.core.representative import select_representative
+from repro.memory.cache_simulator import simulate_caches
+from repro.timing.simulator import TimingSimulator
+from repro.trace.emulator import emulate
+from repro.trace.trace_types import KernelTrace
+
+#: Cache-simulation config dependencies: cache geometry plus the
+#: residency-wave computation (blocks per core, warps per block).
+CACHE_SIM_FIELDS: FrozenSet[str] = frozenset(
+    {
+        "line_size",
+        "l1_size",
+        "l1_assoc",
+        "l2_size",
+        "l2_assoc",
+        "n_cores",
+        "max_threads_per_core",
+        "warp_size",
+    }
+)
+
+#: Latency-table config dependencies (AMAT weights + compute latencies).
+LATENCY_FIELDS: FrozenSet[str] = frozenset(
+    {
+        "l1_latency",
+        "l2_latency",
+        "dram_latency",
+        "smem_latency",
+        "op_latencies",
+    }
+)
+
+#: Interval-profile config dependencies (issue bandwidth only).
+PROFILE_FIELDS: FrozenSet[str] = frozenset({"issue_width"})
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One node of the pipeline DAG."""
+
+    name: str
+    #: Upstream stage names whose artifact keys feed this stage's key.
+    inputs: Tuple[str, ...]
+    #: GPUConfig fields this stage reads; the key includes only their
+    #: fingerprint, so overrides of other fields leave artifacts valid.
+    config_fields: FrozenSet[str]
+    description: str = ""
+
+
+#: The pipeline DAG in topological order.
+STAGES = {
+    spec.name: spec
+    for spec in (
+        StageSpec(
+            "trace",
+            inputs=(),
+            config_fields=TRACE_FIELDS,
+            description="functional SIMT emulation (machine-independent)",
+        ),
+        StageSpec(
+            "cache_sim",
+            inputs=("trace",),
+            config_fields=CACHE_SIM_FIELDS,
+            description="functional cache replay, per-PC miss distributions",
+        ),
+        StageSpec(
+            "latency_table",
+            inputs=("cache_sim",),
+            config_fields=LATENCY_FIELDS,
+            description="per-PC average memory access times",
+        ),
+        StageSpec(
+            "interval_profiles",
+            inputs=("latency_table",),
+            config_fields=PROFILE_FIELDS,
+            description="per-warp interval profiles (Eq. 4)",
+        ),
+        StageSpec(
+            "clustering",
+            inputs=("interval_profiles",),
+            config_fields=frozenset(),
+            description="representative-warp selection (k-means, Eq. 5/6)",
+        ),
+        StageSpec(
+            "predict",
+            inputs=("clustering",),
+            config_fields=ALL_FIELDS,
+            description="multi-warp analytical model (Eq. 3/17)",
+        ),
+        StageSpec(
+            "oracle",
+            inputs=("trace",),
+            config_fields=ALL_FIELDS,
+            description="cycle-level timing simulation",
+        ),
+    )
+}
+
+
+def stage_key(stage: str, config: GPUConfig, *parts: object) -> str:
+    """Content-addressed key for one stage artifact.
+
+    ``parts`` are the non-config inputs (kernel identity, upstream
+    artifact keys, call parameters); the config contributes only the
+    fingerprint of the fields the stage declares.
+    """
+    spec = STAGES[stage]
+    fingerprint = config.fingerprint(spec.config_fields)
+    payload = repr((fingerprint,) + parts).encode("utf-8")
+    return "%s:%s" % (stage, hashlib.sha256(payload).hexdigest()[:24])
+
+
+def trace_digest(trace: KernelTrace) -> str:
+    """Content hash of an externally supplied trace.
+
+    Lets ``GPUMech.prepare(trace=...)`` participate in content-addressed
+    caching without knowing which kernel/scale produced the trace.
+    """
+    digest = hashlib.sha256()
+    digest.update(
+        repr(
+            (trace.kernel_name, trace.warp_size, trace.line_size, trace.n_warps)
+        ).encode("utf-8")
+    )
+    for warp in trace.warps:
+        digest.update(warp.pcs.tobytes())
+        digest.update(warp.ops.tobytes())
+        digest.update(warp.active.tobytes())
+        digest.update(warp.req_lines.tobytes())
+        digest.update(warp.conflict.tobytes())
+    return digest.hexdigest()[:24]
+
+
+# ---------------------------------------------------------------------------
+# Stage compute functions (pure, picklable-argument)
+# ---------------------------------------------------------------------------
+
+
+def compute_trace(kernel_name: str, scale, config: GPUConfig) -> KernelTrace:
+    """Build a suite kernel at ``scale`` and emulate it."""
+    from repro.workloads.suite import SUITE  # deferred: suite is heavy
+
+    kernel, memory = SUITE[kernel_name].build(scale)
+    return emulate(kernel, config, memory=memory)
+
+
+def compute_cache_sim(trace, config, warps_per_core: Optional[int]):
+    return simulate_caches(trace, config, warps_per_core=warps_per_core)
+
+
+def compute_latency_table(trace, cache_result, config):
+    return build_latency_table(trace, cache_result, config)
+
+
+def compute_profiles(warps, latency_table, issue_rate: float):
+    """Interval profiles for an ordered slice of warp traces."""
+    return [
+        build_interval_profile(warp, latency_table, issue_rate)
+        for warp in warps
+    ]
+
+
+def compute_clustering(profiles, strategy: str):
+    return select_representative(profiles, strategy)
+
+
+def compute_oracle(trace, config, warps_per_core: Optional[int]):
+    simulator = TimingSimulator(config, warps_per_core=warps_per_core)
+    return simulator.run(trace)

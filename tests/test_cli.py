@@ -62,3 +62,15 @@ class TestCommands:
              "--bandwidth", "96", "--warps", "4"]
         ) == 0
         assert "CPI" in capsys.readouterr().out
+
+    def test_jobs_and_cache_dir_flags(self, capsys, tmp_path):
+        cache = str(tmp_path / "artifacts")
+        argv = ["validate", "vectoradd", "--scale", "tiny",
+                "--jobs", "2", "--cache-dir", cache]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        # A rerun serves every stage from the on-disk store and must
+        # print the identical table.
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+        assert "oracle" in first

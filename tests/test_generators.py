@@ -1,7 +1,6 @@
 """Direct tests of the workload generator building blocks."""
 
 import numpy as np
-import pytest
 
 from repro.config import GPUConfig
 from repro.isa import KernelBuilder

@@ -1,6 +1,5 @@
 """Behavioural tests of the RR and GTO warp schedulers in the oracle."""
 
-import numpy as np
 
 from repro.config import GPUConfig
 from repro.isa import KernelBuilder

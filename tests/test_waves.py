@@ -1,7 +1,6 @@
 """Tests for residency-wave construction in the cache simulator and
 block-granular residency in the oracle."""
 
-import pytest
 
 from repro.config import GPUConfig
 from repro.isa import KernelBuilder
