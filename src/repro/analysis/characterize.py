@@ -12,6 +12,11 @@ characterization describes the *workload*, not the machine:
   lengths — the Fig. 7 signal),
 * memory footprint (distinct cache lines touched) and traffic intensity
   (bytes of line traffic per instruction).
+
+When the static :class:`~repro.isa.kernel.Kernel` is supplied alongside
+the trace, the summary additionally reports the program's CFG shape
+(basic blocks, static branches) and its lint status from the static
+verifier (``repro.staticcheck``).
 """
 
 from __future__ import annotations
@@ -22,6 +27,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.isa.kernel import Kernel
 from repro.trace.trace_types import KernelTrace, OpCode
 
 
@@ -46,6 +52,12 @@ class KernelCharacterization:
     footprint_lines: int = 0
     line_bytes_per_inst: float = 0.0
     write_request_fraction: float = 0.0
+    # Static program shape (populated when the Kernel is supplied).
+    static_insts: int = 0
+    static_blocks: int = 0
+    static_branches: int = 0
+    lint_errors: int = 0
+    lint_warnings: int = 0
 
     @property
     def is_memory_divergent(self) -> bool:
@@ -63,8 +75,14 @@ class KernelCharacterization:
         return self.write_request_fraction > 0.5
 
 
-def characterize(trace: KernelTrace) -> KernelCharacterization:
-    """Compute all metrics for one trace."""
+def characterize(
+    trace: KernelTrace, kernel: Optional[Kernel] = None
+) -> KernelCharacterization:
+    """Compute all metrics for one trace.
+
+    Passing the ``kernel`` adds the static CFG shape and lint counts to
+    the characterization (trace-only callers get zeros).
+    """
     total = trace.total_insts
     op_counts: Dict[int, int] = {int(op): 0 for op in OpCode}
     mem_insts = 0
@@ -110,6 +128,20 @@ def characterize(trace: KernelTrace) -> KernelCharacterization:
         OpCode(code).name: count / total if total else 0.0
         for code, count in op_counts.items()
     }
+    static_insts = static_blocks = static_branches = 0
+    lint_errors = lint_warnings = 0
+    if kernel is not None:
+        from repro.staticcheck import ControlFlowGraph, lint_kernel
+
+        cfg = ControlFlowGraph(kernel.program)
+        static_insts = len(kernel.program)
+        static_blocks = len(cfg.blocks)
+        static_branches = sum(
+            1 for inst in kernel.program if inst.opcode == "bra"
+        )
+        report = lint_kernel(kernel)
+        lint_errors = len(report.errors)
+        lint_warnings = len(report.warnings)
     return KernelCharacterization(
         kernel_name=trace.kernel_name,
         n_warps=trace.n_warps,
@@ -132,11 +164,28 @@ def characterize(trace: KernelTrace) -> KernelCharacterization:
         write_request_fraction=(
             write_reqs / total_reqs if total_reqs else 0.0
         ),
+        static_insts=static_insts,
+        static_blocks=static_blocks,
+        static_branches=static_branches,
+        lint_errors=lint_errors,
+        lint_warnings=lint_warnings,
     )
 
 
 def render_characterization(char: KernelCharacterization) -> str:
     """Multi-line human-readable report."""
+    static_line = None
+    if char.static_insts:
+        lint = (
+            "clean" if not (char.lint_errors or char.lint_warnings)
+            else "%d error(s), %d warning(s)"
+            % (char.lint_errors, char.lint_warnings)
+        )
+        static_line = (
+            "  static: %d insts in %d basic blocks, %d branches; lint %s"
+            % (char.static_insts, char.static_blocks, char.static_branches,
+               lint)
+        )
     lines = [
         "kernel %s: %d warps in %d blocks, %d dynamic instructions"
         % (char.kernel_name, char.n_warps, char.n_blocks, char.total_insts),
@@ -170,6 +219,8 @@ def render_characterization(char: KernelCharacterization) -> str:
         )
         or "  classes: regular",
     ]
+    if static_line is not None:
+        lines.insert(1, static_line)
     return "\n".join(lines)
 
 
@@ -189,10 +240,12 @@ def suite_report(
     rows = []
     for name in names:
         kernel, memory = SUITE[name].build(scale)
-        char = characterize(emulate(kernel, config, memory=memory))
+        char = characterize(emulate(kernel, config, memory=memory),
+                            kernel=kernel)
         rows.append(
             (
                 name,
+                "%d/%d" % (char.static_insts, char.static_blocks),
                 char.total_insts,
                 "%.2f" % char.insts_per_warp_cv,
                 "%.1f" % char.mean_divergence,
@@ -202,8 +255,8 @@ def suite_report(
             )
         )
     return render_table(
-        ("kernel", "insts", "warp CV", "mean div", "max div", "masked",
-         "writes"),
+        ("kernel", "static/blocks", "insts", "warp CV", "mean div",
+         "max div", "masked", "writes"),
         rows,
         title="workload characterization (%d kernels)" % len(rows),
     )

@@ -12,6 +12,9 @@ Subcommands
     Run both and report the relative error of every Table II model.
 ``experiment``
     Regenerate one of the paper's figures (figure4 ... figure16, speedup).
+``lint``
+    Statically verify kernels (CFG + dataflow checks); nonzero exit on
+    any error-severity diagnostic.
 """
 
 from __future__ import annotations
@@ -66,6 +69,9 @@ def _add_machine_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="persistent content-addressed artifact store; "
                         "reruns skip every already-computed stage")
+    parser.add_argument("--lint", action="store_true",
+                        help="statically verify each kernel before tracing "
+                        "(abort on error-severity diagnostics)")
 
 
 def _machine(args) -> GPUConfig:
@@ -84,6 +90,7 @@ def _runner(args) -> Runner:
         _SCALES[args.scale](),
         jobs=args.jobs,
         cache_dir=args.cache_dir,
+        lint=args.lint,
     )
 
 
@@ -141,6 +148,29 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.staticcheck import (
+        lint_kernel,
+        render_reports,
+        reports_to_json,
+    )
+
+    scale = _SCALES[args.scale]()
+    if args.suite or args.kernel in (None, "all"):
+        names = kernel_names()
+    else:
+        names = [args.kernel]
+    reports = []
+    for name in names:
+        kernel, _ = get_kernel(name, scale)
+        reports.append(lint_kernel(kernel))
+    if args.format == "json":
+        print(reports_to_json(reports))
+    else:
+        print(render_reports(reports))
+    return 1 if any(r.has_errors for r in reports) else 0
+
+
 def _cmd_characterize(args) -> int:
     from repro.analysis import (
         characterize,
@@ -155,7 +185,7 @@ def _cmd_characterize(args) -> int:
         return 0
     kernel, memory = get_kernel(args.kernel, scale)
     trace = emulate(kernel, config, memory=memory)
-    print(render_characterization(characterize(trace)))
+    print(render_characterization(characterize(trace, kernel=kernel)))
     return 0
 
 
@@ -199,6 +229,19 @@ def build_parser() -> argparse.ArgumentParser:
     characterize.add_argument("kernel")
     _add_machine_args(characterize)
 
+    lint = sub.add_parser(
+        "lint",
+        help="statically verify kernels (CFG + dataflow checks)",
+    )
+    lint.add_argument("kernel", nargs="?", default=None,
+                      help="kernel name ('all' for the whole suite)")
+    lint.add_argument("--suite", action="store_true",
+                      help="lint every workload-suite kernel")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      help="diagnostic output format")
+    lint.add_argument("--scale", choices=sorted(_SCALES), default="small",
+                      help="workload scale preset")
+
     return parser
 
 
@@ -212,6 +255,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "validate": _cmd_validate,
         "experiment": _cmd_experiment,
         "characterize": _cmd_characterize,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

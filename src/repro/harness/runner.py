@@ -105,6 +105,10 @@ class Runner:
     store:
         Pre-built :class:`~repro.pipeline.ArtifactStore` (mutually
         exclusive with ``cache_dir``).
+    lint:
+        Opt-in static verification: lint every kernel (cached and timed
+        as its own pipeline stage) before its first trace, aborting on
+        error-severity diagnostics.
     """
 
     def __init__(
@@ -114,6 +118,7 @@ class Runner:
         jobs: int = 1,
         cache_dir: Optional[str] = None,
         store: Optional[ArtifactStore] = None,
+        lint: bool = False,
     ):
         self.config = config
         self.scale = scale if scale is not None else Scale.small()
@@ -123,6 +128,7 @@ class Runner:
             store=store,
             cache_dir=cache_dir,
             jobs=jobs,
+            lint=lint,
         )
 
     @property

@@ -4,7 +4,8 @@ A :class:`Kernel` is what the workload suite hands to the functional
 emulator.  It owns the static instruction list and the launch geometry
 (total threads, threads per block), and validates structural properties
 that the emulator relies on: resolved branch targets, reconvergence PCs
-that strictly post-dominate their branches, and a terminating ``exit``.
+that are the immediate post-dominators of their branches (computed by
+``repro.staticcheck.cfg``), and a terminating ``exit``.
 """
 
 from __future__ import annotations
@@ -75,15 +76,17 @@ class Kernel:
                             "pc %d: reconvergence pc %s out of range"
                             % (pc, inst.reconv)
                         )
-                    # The reconvergence point must be reachable by falling
-                    # through from both sides, i.e. strictly after the branch
-                    # on the fall-through path and at-or-after the target on
-                    # the taken path (backward branches reconverge at pc+1).
-                    if inst.reconv <= pc and inst.reconv <= inst.target:
-                        raise KernelValidationError(
-                            "pc %d: reconvergence pc %d precedes both paths"
-                            % (pc, inst.reconv)
-                        )
+        # Reconvergence PCs must be the *immediate post-dominator* of
+        # their branch — the exact point where the SIMT stack pops
+        # diverged lane groups.  Delegated to the CFG-based computation
+        # of the static verifier (deferred import: staticcheck imports
+        # this module for its entry points).
+        from repro.staticcheck.cfg import reconvergence_errors
+
+        errors = reconvergence_errors(self.program)
+        if errors:
+            pc, message = errors[0]
+            raise KernelValidationError("pc %d: %s" % (pc, message))
 
     @property
     def n_warps(self) -> int:

@@ -37,6 +37,7 @@ from repro.pipeline.stages import (
     compute_cache_sim,
     compute_clustering,
     compute_latency_table,
+    compute_lint,
     compute_oracle,
     compute_profiles,
     compute_trace,
@@ -44,6 +45,7 @@ from repro.pipeline.stages import (
     trace_digest,
 )
 from repro.pipeline.store import ArtifactStore, open_store
+from repro.staticcheck.report import StaticCheckError
 from repro.workloads.generators import Scale
 
 #: Minimum warps before the per-warp profile loop is worth forking for.
@@ -103,6 +105,7 @@ class Pipeline:
         cache_dir: Optional[str] = None,
         jobs: int = 1,
         rr_mode: str = "probabilistic",
+        lint: bool = False,
     ):
         if store is not None and cache_dir is not None:
             raise ValueError("pass either store or cache_dir, not both")
@@ -111,6 +114,11 @@ class Pipeline:
         self.store = store if store is not None else open_store(cache_dir)
         self.jobs = max(1, int(jobs))
         self.rr_mode = rr_mode
+        #: Opt-in static verification gating the trace stage: when set,
+        #: every kernel is linted (cached + counted like any stage)
+        #: before its first emulation, and lint errors abort the run
+        #: before any artifact is built from the invalid kernel.
+        self.lint = lint
         #: Real stage executions (store misses), keyed by stage name.
         self.counters: Counter = Counter()
         #: Store hits, keyed by stage name.
@@ -150,8 +158,26 @@ class Pipeline:
         config = self._effective_config(config)
         return stage_key("trace", config, kernel_name, self._scale_part())
 
+    def verify(self, kernel_name: str):
+        """Statically verify a suite kernel (cached, counted, timed like
+        any other stage); raises :class:`StaticCheckError` on errors."""
+        key = stage_key("lint", self.config, kernel_name, self._scale_part())
+        report = self._execute(
+            "lint", key, lambda: compute_lint(kernel_name, self.scale)
+        )
+        if report.has_errors:
+            raise StaticCheckError(report)
+        return report
+
     def trace(self, kernel_name: str, config: Optional[GPUConfig] = None):
-        """The (cached) functional trace of a suite kernel."""
+        """The (cached) functional trace of a suite kernel.
+
+        With ``lint=True`` the kernel is statically verified first, so
+        no trace artifact is ever built — or cached — from a kernel
+        that fails verification.
+        """
+        if self.lint:
+            self.verify(kernel_name)
         config = self._effective_config(config)
         key = self.trace_key(kernel_name, config)
         return self._execute(

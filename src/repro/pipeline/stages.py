@@ -6,6 +6,7 @@ derived from those field subsets, so the pipeline knows *structurally*
 which artifacts a configuration override invalidates:
 
 ====================  =====================================================
+``lint``              static kernel verification (no config dependence)
 ``trace``             functional emulation (config: trace fields only)
 ``cache_sim``         functional cache replay (cache geometry + residency)
 ``latency_table``     per-PC AMAT (latency parameters)
@@ -82,6 +83,12 @@ class StageSpec:
 STAGES = {
     spec.name: spec
     for spec in (
+        StageSpec(
+            "lint",
+            inputs=(),
+            config_fields=frozenset(),
+            description="static kernel verification (CFG + dataflow checks)",
+        ),
         StageSpec(
             "trace",
             inputs=(),
@@ -173,6 +180,15 @@ def compute_trace(kernel_name: str, scale, config: GPUConfig) -> KernelTrace:
 
     kernel, memory = SUITE[kernel_name].build(scale)
     return emulate(kernel, config, memory=memory)
+
+
+def compute_lint(kernel_name: str, scale):
+    """Build a suite kernel at ``scale`` and statically verify it."""
+    from repro.staticcheck import lint_kernel
+    from repro.workloads.suite import SUITE  # deferred: suite is heavy
+
+    kernel, _ = SUITE[kernel_name].build(scale)
+    return lint_kernel(kernel)
 
 
 def compute_cache_sim(trace, config, warps_per_core: Optional[int]):

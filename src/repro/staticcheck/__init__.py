@@ -1,0 +1,49 @@
+"""Static kernel verifier: CFG + dataflow analysis over the mini SIMT ISA.
+
+The package gives the prediction chain a correctness gate: kernels are
+checked *before* they reach the emulator, the cache simulator and the
+timing oracle, turning silent divergence/synchronization corruption into
+pc-level diagnostics.
+
+Layers
+------
+* :mod:`repro.staticcheck.cfg` — basic-block CFG, dominators and
+  post-dominators (the reconvergence ground truth);
+* :mod:`repro.staticcheck.dataflow` — generic worklist solver with
+  reaching-definitions, liveness and divergence-taint instances;
+* :mod:`repro.staticcheck.checks` — the six checks and the
+  :func:`lint_kernel` / :func:`lint_program` entry points;
+* :mod:`repro.staticcheck.report` — structured
+  :class:`Diagnostic`/:class:`LintReport` records with text and JSON
+  rendering.
+"""
+
+from repro.staticcheck.cfg import (
+    BasicBlock,
+    ControlFlowGraph,
+    reconvergence_errors,
+)
+from repro.staticcheck.checks import CHECKS, lint_kernel, lint_program
+from repro.staticcheck.report import (
+    Diagnostic,
+    LintReport,
+    Severity,
+    StaticCheckError,
+    render_reports,
+    reports_to_json,
+)
+
+__all__ = [
+    "BasicBlock",
+    "CHECKS",
+    "ControlFlowGraph",
+    "Diagnostic",
+    "LintReport",
+    "Severity",
+    "StaticCheckError",
+    "lint_kernel",
+    "lint_program",
+    "reconvergence_errors",
+    "render_reports",
+    "reports_to_json",
+]

@@ -1,0 +1,299 @@
+"""The static checks: six verifiers built on the CFG + dataflow layers.
+
+==================== ======== ==============================================
+check id             severity what it catches
+==================== ======== ==============================================
+``uninit-read``      error    register read with no reaching write (warning
+                              when only *some* paths miss the write)
+``dead-write``       warning  register write whose value is never read
+``unreachable-code`` warning  instructions no path from the entry reaches
+``bad-reconvergence`` error   conditional branch whose ``reconv`` is not its
+                              immediate post-dominator
+``barrier-divergence`` error  ``bar`` reachable between a possibly-divergent
+                              branch and its reconvergence point (the static
+                              form of the emulator's barrier deadlock)
+``smem-race``        error    ``lds`` that may observe another warp's ``sts``
+                              with no block barrier ordering the pair
+==================== ======== ==============================================
+
+Entry points: :func:`lint_kernel` for validated :class:`Kernel` objects
+and :func:`lint_program` for raw instruction sequences (used to test
+properties — like bad reconvergence — that ``Kernel.__post_init__``
+itself rejects).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set
+
+from repro.isa.instructions import Instruction, OpClass, Reg
+from repro.isa.kernel import Kernel
+from repro.staticcheck.cfg import ControlFlowGraph, reconvergence_errors
+from repro.staticcheck.dataflow import (
+    UNINIT,
+    DivergenceSources,
+    LiveRegisters,
+    ReachingDefinitions,
+    may_collide_across_warps,
+    may_diverge,
+    register_tags,
+    solve,
+)
+from repro.staticcheck.report import Diagnostic, LintReport, Severity
+
+
+class _Context:
+    """Shared per-kernel analysis state, computed lazily across checks."""
+
+    def __init__(
+        self,
+        program: Sequence[Instruction],
+        cfg: ControlFlowGraph,
+        warps_per_block: int,
+    ):
+        self.program = tuple(program)
+        self.cfg = cfg
+        self.warps_per_block = warps_per_block
+        self._rdef_in: Optional[Dict[int, FrozenSet]] = None
+        self._live_out: Optional[Dict[int, FrozenSet]] = None
+        self._div_in: Optional[Dict[int, FrozenSet]] = None
+
+    @property
+    def rdef_in(self) -> Dict[int, FrozenSet]:
+        """Reaching definitions before each instruction."""
+        if self._rdef_in is None:
+            self._rdef_in, _ = solve(self.cfg, ReachingDefinitions())
+        return self._rdef_in
+
+    @property
+    def live_out(self) -> Dict[int, FrozenSet]:
+        """Registers live after each instruction."""
+        if self._live_out is None:
+            _, self._live_out = solve(self.cfg, LiveRegisters())
+        return self._live_out
+
+    @property
+    def div_in(self) -> Dict[int, FrozenSet]:
+        """Thread-identity taints before each instruction."""
+        if self._div_in is None:
+            self._div_in, _ = solve(self.cfg, DivergenceSources())
+        return self._div_in
+
+    def barrier_free_region(self, start_pcs: Sequence[int],
+                            stop: Optional[int] = None) -> Set[int]:
+        """PCs reachable from ``start_pcs`` without crossing a ``bar``
+        (and without entering ``stop``).  Barrier PCs themselves are
+        included in the region — they are *reached* barrier-free — but
+        never traversed."""
+        seen: Set[int] = set()
+        stack = [pc for pc in start_pcs if pc != stop]
+        while stack:
+            pc = stack.pop()
+            if pc in seen:
+                continue
+            seen.add(pc)
+            if self.program[pc].opclass is OpClass.BARRIER:
+                continue
+            for succ in self.cfg.succs[pc]:
+                if succ != stop and succ not in seen:
+                    stack.append(succ)
+        return seen
+
+
+CheckFn = Callable[[_Context], List[Diagnostic]]
+
+#: Registry of all checks, keyed by check id (insertion order = run order).
+CHECKS: Dict[str, CheckFn] = {}
+
+
+def _check(check_id: str) -> Callable[[CheckFn], CheckFn]:
+    def register(fn: CheckFn) -> CheckFn:
+        CHECKS[check_id] = fn
+        return fn
+
+    return register
+
+
+@_check("uninit-read")
+def check_uninit_read(ctx: _Context) -> List[Diagnostic]:
+    """Reads of registers with no (or only conditional) reaching writes."""
+    out: List[Diagnostic] = []
+    for pc in sorted(ctx.cfg.reachable):
+        inst = ctx.program[pc]
+        facts = ctx.rdef_in[pc]
+        seen: Set[int] = set()
+        for reg in inst.source_registers:
+            if reg.index in seen:
+                continue
+            seen.add(reg.index)
+            defs = {d for r, d in facts if r == reg.index}
+            if defs == {UNINIT}:
+                out.append(Diagnostic(
+                    pc, "uninit-read", Severity.ERROR,
+                    "r%d is read but never written on any path from entry"
+                    % reg.index,
+                ))
+            elif UNINIT in defs:
+                out.append(Diagnostic(
+                    pc, "uninit-read", Severity.WARNING,
+                    "r%d may be read before its first write (written only "
+                    "on some paths)" % reg.index,
+                ))
+    return out
+
+
+@_check("dead-write")
+def check_dead_write(ctx: _Context) -> List[Diagnostic]:
+    """Register writes whose value no later instruction can read."""
+    out: List[Diagnostic] = []
+    for pc in sorted(ctx.cfg.reachable):
+        inst = ctx.program[pc]
+        if inst.dst is None:
+            continue
+        if inst.dst.index not in ctx.live_out[pc]:
+            out.append(Diagnostic(
+                pc, "dead-write", Severity.WARNING,
+                "value written to r%d by %r is never read"
+                % (inst.dst.index, inst.opcode),
+            ))
+    return out
+
+
+@_check("unreachable-code")
+def check_unreachable(ctx: _Context) -> List[Diagnostic]:
+    """Instruction ranges no path from the entry reaches."""
+    out: List[Diagnostic] = []
+    for start, end in ctx.cfg.unreachable_ranges():
+        span = "pc %d" % start if start == end else "pcs %d-%d" % (start, end)
+        out.append(Diagnostic(
+            start, "unreachable-code", Severity.WARNING,
+            "%s unreachable from the kernel entry" % span,
+        ))
+    return out
+
+
+@_check("bad-reconvergence")
+def check_reconvergence(ctx: _Context) -> List[Diagnostic]:
+    """Conditional branches whose reconv is not the immediate
+    post-dominator (delegates to :func:`reconvergence_errors`, the same
+    computation ``Kernel.__post_init__`` enforces)."""
+    return [
+        Diagnostic(pc, "bad-reconvergence", Severity.ERROR, message)
+        for pc, message in reconvergence_errors(ctx.program, ctx.cfg)
+    ]
+
+
+@_check("barrier-divergence")
+def check_barrier_divergence(ctx: _Context) -> List[Diagnostic]:
+    """Barriers reachable while a possibly-divergent branch is unresolved.
+
+    A warp whose lanes split at a divergent branch executes each side
+    with a partial mask until the reconvergence point; a block-wide
+    ``bar`` inside that region deadlocks (the emulator raises exactly
+    this).  The region of a branch at ``b`` with reconvergence ``r`` is
+    everything reachable from ``b``'s successors without entering ``r``.
+    Branches whose predicate carries no per-thread taint (uniform trip
+    counts, block-id predicates) cannot split a warp and are skipped.
+    """
+    flagged: Dict[int, int] = {}  # bar pc -> first offending branch pc
+    ipdom = ctx.cfg.immediate_postdominators()
+    for pc in sorted(ctx.cfg.reachable):
+        inst = ctx.program[pc]
+        if inst.opclass is not OpClass.BRANCH or inst.pred is None:
+            continue
+        tags = register_tags(ctx.div_in[pc], inst.pred)
+        if not may_diverge(tags):
+            continue
+        join = inst.reconv if inst.reconv is not None else ipdom.get(pc)
+        region = ctx.barrier_free_region(list(ctx.cfg.succs[pc]), stop=join)
+        for node in sorted(region):
+            if ctx.program[node].opclass is OpClass.BARRIER:
+                flagged.setdefault(node, pc)
+    return [
+        Diagnostic(
+            bar_pc, "barrier-divergence", Severity.ERROR,
+            "bar may execute while the branch at pc %d is diverged "
+            "(before its reconvergence point) — block-wide deadlock"
+            % branch_pc,
+        )
+        for bar_pc, branch_pc in sorted(flagged.items())
+    ]
+
+
+@_check("smem-race")
+def check_smem_race(ctx: _Context) -> List[Diagnostic]:
+    """Shared-memory reads that may observe another warp's write with no
+    ordering barrier.
+
+    Applies only when a block holds more than one warp (races are
+    inter-warp: lanes of one warp execute in lockstep).  An ``sts``
+    whose address is neither ``tid``- nor ``warp``-derived may write
+    words that warps other than the writer's read; any ``lds`` with a
+    likewise collision-prone address reachable from it on a barrier-free
+    path is flagged.
+    """
+    if ctx.warps_per_block <= 1:
+        return []
+    flagged: Dict[int, int] = {}  # lds pc -> first racing sts pc
+    for pc in sorted(ctx.cfg.reachable):
+        inst = ctx.program[pc]
+        if inst.opclass is not OpClass.SMEM_STORE:
+            continue
+        addr = inst.srcs[0]
+        if isinstance(addr, Reg) and not may_collide_across_warps(
+            register_tags(ctx.div_in[pc], addr)
+        ):
+            continue
+        region = ctx.barrier_free_region(list(ctx.cfg.succs[pc]))
+        for node in sorted(region):
+            reader = ctx.program[node]
+            if reader.opclass is not OpClass.SMEM_LOAD:
+                continue
+            raddr = reader.srcs[0]
+            if isinstance(raddr, Reg) and not may_collide_across_warps(
+                register_tags(ctx.div_in[node], raddr)
+            ):
+                continue
+            flagged.setdefault(node, pc)
+    return [
+        Diagnostic(
+            lds_pc, "smem-race", Severity.ERROR,
+            "lds may read words the sts at pc %d wrote from another warp "
+            "with no bar between them" % sts_pc,
+        )
+        for lds_pc, sts_pc in sorted(flagged.items())
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+
+def lint_program(
+    program: Sequence[Instruction],
+    name: str = "<program>",
+    warps_per_block: int = 1,
+) -> LintReport:
+    """Run every check on a raw instruction sequence.
+
+    Unlike :func:`lint_kernel` this accepts programs that
+    :class:`~repro.isa.kernel.Kernel` would reject outright (bad
+    reconvergence PCs), which is how those rejections are themselves
+    exercised.
+    """
+    ctx = _Context(program, ControlFlowGraph(program), warps_per_block)
+    diagnostics: List[Diagnostic] = []
+    for fn in CHECKS.values():
+        diagnostics.extend(fn(ctx))
+    diagnostics.sort(key=lambda d: (d.pc, d.check_id))
+    return LintReport(kernel=name, diagnostics=tuple(diagnostics))
+
+
+def lint_kernel(kernel: Kernel) -> LintReport:
+    """Run every check on a validated kernel (launch geometry included:
+    the race check needs warps-per-block)."""
+    return lint_program(
+        kernel.program, name=kernel.name,
+        warps_per_block=kernel.warps_per_block,
+    )

@@ -1,0 +1,237 @@
+"""Generic worklist dataflow solver and the analyses the checks use.
+
+The solver (:func:`solve`) handles *may* analyses over finite set
+domains: the meet is set union, transfer functions are monotone
+gen/kill-style functions of one instruction, and iteration runs to the
+(guaranteed, finite-lattice) fixpoint over the instruction-level CFG.
+Three instances ship with it:
+
+:class:`ReachingDefinitions` (forward)
+    Facts are ``(register, def_pc)`` pairs; the boundary injects a
+    synthetic ``(register, UNINIT)`` fact for every register, so a read
+    whose reaching set contains *only* the synthetic fact is definitely
+    uninitialized, and one that contains it alongside real definitions
+    is uninitialized on some path.
+
+:class:`LiveRegisters` (backward)
+    Facts are register indices live *out* of each instruction; a write
+    whose destination is not live-out is dead.
+
+:class:`DivergenceSources` (forward)
+    Facts are ``(register, source)`` taint pairs tracking which
+    thread-identity specials (``tid`` / ``lane`` / ``warp``) a register's
+    value may depend on — the classic GPU divergence analysis.  A branch
+    predicate with a ``tid`` or ``lane`` taint may split a warp; a
+    shared-memory address with no ``tid``/``warp`` taint may collide
+    across warps of a block.  Loads propagate the taint of their address
+    (distinct addresses hold distinct synthetic-memory values).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from repro.isa.instructions import Instruction, OpClass, Reg, Special
+from repro.staticcheck.cfg import ControlFlowGraph
+
+#: Synthetic definition site meaning "value at kernel entry".
+UNINIT = -1
+
+Fact = Tuple[int, int]  # the concrete fact tuples all instances use
+
+
+class Analysis:
+    """Base class: a may-analysis over a finite set domain."""
+
+    #: "forward" or "backward".
+    direction: str = "forward"
+
+    def boundary(self, program: Sequence[Instruction]) -> FrozenSet:
+        """Facts at the entry (forward) or every exit (backward)."""
+        return frozenset()
+
+    def transfer(self, pc: int, inst: Instruction, facts: FrozenSet) -> FrozenSet:
+        """Facts after (forward) / before (backward) one instruction."""
+        raise NotImplementedError
+
+
+def solve(
+    cfg: ControlFlowGraph, analysis: Analysis
+) -> Tuple[Dict[int, FrozenSet], Dict[int, FrozenSet]]:
+    """Run ``analysis`` to fixpoint; returns ``(in_facts, out_facts)``.
+
+    For a forward analysis ``in_facts[pc]`` holds before the instruction
+    executes and ``out_facts[pc]`` after; for a backward analysis the
+    roles are mirrored (``in_facts`` is the pre-state in execution
+    order, i.e. the transfer output).  Only entry-reachable PCs are
+    solved; unreachable code keeps empty fact sets.
+    """
+    program = cfg.program
+    n = len(program)
+    forward = analysis.direction == "forward"
+    if forward:
+        edges_in = [tuple(cfg.preds[pc]) for pc in range(n)]
+        roots = [0]
+    else:
+        edges_in = [tuple(cfg.succs[pc]) for pc in range(n)]
+        roots = [
+            pc for pc, inst in enumerate(program)
+            if inst.opclass is OpClass.EXIT
+        ]
+    boundary = analysis.boundary(program)
+    reachable = cfg.reachable
+    in_facts: Dict[int, FrozenSet] = {pc: frozenset() for pc in range(n)}
+    out_facts: Dict[int, FrozenSet] = {pc: frozenset() for pc in range(n)}
+
+    worklist: List[int] = [pc for pc in range(n) if pc in reachable]
+    queued: Set[int] = set(worklist)
+    while worklist:
+        pc = worklist.pop()
+        queued.discard(pc)
+        merged: Set = set()
+        if pc in roots:
+            merged |= boundary
+        for upstream in edges_in[pc]:
+            merged |= out_facts[upstream]
+        new_in = frozenset(merged)
+        new_out = analysis.transfer(pc, program[pc], new_in)
+        if new_in == in_facts[pc] and new_out == out_facts[pc]:
+            continue
+        in_facts[pc] = new_in
+        out_facts[pc] = new_out
+        downstream = cfg.succs[pc] if forward else cfg.preds[pc]
+        for succ in downstream:
+            if succ in reachable and succ not in queued:
+                queued.add(succ)
+                worklist.append(succ)
+    if forward:
+        return in_facts, out_facts
+    # Backward: present results in execution order (pre-state = transfer
+    # output, post-state = merged facts from successors).
+    return out_facts, in_facts
+
+
+# ---------------------------------------------------------------------------
+# Instances
+# ---------------------------------------------------------------------------
+
+
+def _registers_of(program: Sequence[Instruction]) -> Set[int]:
+    regs: Set[int] = set()
+    for inst in program:
+        if inst.dst is not None:
+            regs.add(inst.dst.index)
+        for reg in inst.source_registers:
+            regs.add(reg.index)
+    return regs
+
+
+class ReachingDefinitions(Analysis):
+    """Forward may-analysis: which writes may a read observe.
+
+    Facts are ``(register, def_pc)``; ``def_pc == UNINIT`` is the
+    synthetic entry definition.
+    """
+
+    direction = "forward"
+
+    def boundary(self, program: Sequence[Instruction]) -> FrozenSet:
+        return frozenset((reg, UNINIT) for reg in _registers_of(program))
+
+    def transfer(self, pc: int, inst: Instruction, facts: FrozenSet) -> FrozenSet:
+        if inst.dst is None:
+            return facts
+        dst = inst.dst.index
+        kept = {fact for fact in facts if fact[0] != dst}
+        kept.add((dst, pc))
+        return frozenset(kept)
+
+
+class LiveRegisters(Analysis):
+    """Backward may-analysis: registers whose value may still be read.
+
+    Facts are plain register indices (wrapped as ``(reg, 0)`` is not
+    needed — the domain is just ``int``).
+    """
+
+    direction = "backward"
+
+    def transfer(self, pc: int, inst: Instruction, facts: FrozenSet) -> FrozenSet:
+        live = set(facts)
+        if inst.dst is not None:
+            live.discard(inst.dst.index)
+        for reg in inst.source_registers:
+            live.add(reg.index)
+        return frozenset(live)
+
+
+#: Taint source tags of :class:`DivergenceSources`.
+TID, LANE, WARP = "tid", "lane", "warp"
+
+_SPECIAL_TAINT = {
+    Special.TID: TID,
+    Special.LANE: LANE,
+    Special.WARP: WARP,
+    # CTAID and NTID are uniform across every thread of a block.
+}
+
+
+class DivergenceSources(Analysis):
+    """Forward taint analysis: which thread-identity values feed a register.
+
+    Facts are ``(register, tag)`` with ``tag`` in ``{tid, lane, warp}``.
+    """
+
+    direction = "forward"
+
+    def transfer(self, pc: int, inst: Instruction, facts: FrozenSet) -> FrozenSet:
+        if inst.dst is None:
+            return facts
+        dst = inst.dst.index
+        if inst.opclass in (OpClass.LOAD, OpClass.SMEM_LOAD):
+            # A load's value varies exactly as much as its address does
+            # (the synthetic memory image hashes the address).
+            sources: Tuple = (inst.srcs[0],)
+        else:
+            sources = inst.srcs
+        tags: Set[str] = set()
+        for operand in sources:
+            if isinstance(operand, Reg):
+                tags.update(
+                    tag for reg, tag in facts if reg == operand.index
+                )
+            elif isinstance(operand, Special):
+                taint = _SPECIAL_TAINT.get(operand)
+                if taint is not None:
+                    tags.add(taint)
+        kept = {fact for fact in facts if fact[0] != dst}
+        kept.update((dst, tag) for tag in tags)
+        return frozenset(kept)
+
+
+def register_tags(facts: FrozenSet, reg: Reg) -> FrozenSet:
+    """The taint tags of one register in a :class:`DivergenceSources`
+    fact set."""
+    return frozenset(tag for index, tag in facts if index == reg.index)
+
+
+def may_diverge(tags: FrozenSet) -> bool:
+    """Whether a predicate with these taints may split a warp.
+
+    Divergence is an intra-warp phenomenon: only per-thread (``tid``)
+    and per-lane (``lane``) values differ between the lanes of one warp.
+    """
+    return TID in tags or LANE in tags
+
+
+def may_collide_across_warps(tags: FrozenSet) -> bool:
+    """Whether a shared-memory address with these taints may be produced
+    by threads of *different warps* in the same block.
+
+    ``tid``-derived addresses are treated as thread-private and
+    ``warp``-derived addresses as warp-private (the standard indexing
+    idioms); anything else — uniform or purely ``lane``-derived — maps
+    different warps onto the same scratchpad words.  This is a
+    best-effort static classification, not an alias proof.
+    """
+    return TID not in tags and WARP not in tags

@@ -1,0 +1,142 @@
+"""Structured diagnostics for the static kernel verifier.
+
+Every check reports :class:`Diagnostic` records — one per offending
+program point — rather than raising on first failure, so a single lint
+pass over a kernel surfaces *all* problems at once with pc-level
+precision.  :class:`LintReport` aggregates the diagnostics of one kernel
+and renders them as text (for the CLI) or as JSON-serialisable dicts
+(for tooling and CI).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Tuple
+
+
+class Severity(enum.Enum):
+    """How bad a diagnostic is.
+
+    ``ERROR`` means the kernel can mis-execute (wrong reconvergence,
+    deadlocking barrier, shared-memory race, read of a never-written
+    register); the lint exit code is nonzero iff any error is present.
+    ``WARNING`` flags suspicious-but-executable structure (dead writes,
+    unreachable code, possibly-uninitialized reads).
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one check, anchored to a static program counter."""
+
+    pc: int
+    check_id: str
+    severity: Severity
+    message: str
+
+    def render(self) -> str:
+        """``pc 12: error [bad-reconvergence] ...`` one-liner."""
+        return "pc %d: %s [%s] %s" % (
+            self.pc, self.severity.value, self.check_id, self.message
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form."""
+        return {
+            "pc": self.pc,
+            "check_id": self.check_id,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """All diagnostics of one kernel, in (pc, check) order."""
+
+    kernel: str
+    diagnostics: Tuple[Diagnostic, ...]
+
+    @property
+    def errors(self) -> Tuple[Diagnostic, ...]:
+        """The error-severity subset."""
+        return tuple(
+            d for d in self.diagnostics if d.severity is Severity.ERROR
+        )
+
+    @property
+    def warnings(self) -> Tuple[Diagnostic, ...]:
+        """The warning-severity subset."""
+        return tuple(
+            d for d in self.diagnostics if d.severity is Severity.WARNING
+        )
+
+    @property
+    def has_errors(self) -> bool:
+        """Whether any diagnostic is an error."""
+        return any(d.severity is Severity.ERROR for d in self.diagnostics)
+
+    def by_check(self, check_id: str) -> Tuple[Diagnostic, ...]:
+        """Diagnostics of one check (used heavily by tests)."""
+        return tuple(d for d in self.diagnostics if d.check_id == check_id)
+
+    def render_text(self) -> str:
+        """Human-readable per-kernel report."""
+        if not self.diagnostics:
+            return "%s: clean" % self.kernel
+        lines = [
+            "%s: %d error(s), %d warning(s)"
+            % (self.kernel, len(self.errors), len(self.warnings))
+        ]
+        lines.extend("  " + d.render() for d in self.diagnostics)
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form."""
+        return {
+            "kernel": self.kernel,
+            "n_errors": len(self.errors),
+            "n_warnings": len(self.warnings),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+
+class StaticCheckError(RuntimeError):
+    """Raised when a gated consumer (e.g. the pipeline's trace stage)
+    refuses a kernel whose lint report contains errors."""
+
+    def __init__(self, report: LintReport):
+        self.report = report
+        super().__init__(
+            "kernel %s failed static verification:\n%s"
+            % (report.kernel, report.render_text())
+        )
+
+
+def render_reports(reports: Sequence[LintReport]) -> str:
+    """Text rendering of a multi-kernel (suite) lint run."""
+    lines: List[str] = [report.render_text() for report in reports]
+    n_errors = sum(len(r.errors) for r in reports)
+    n_warnings = sum(len(r.warnings) for r in reports)
+    lines.append(
+        "%d kernel(s): %d error(s), %d warning(s)"
+        % (len(reports), n_errors, n_warnings)
+    )
+    return "\n".join(lines)
+
+
+def reports_to_json(reports: Sequence[LintReport]) -> str:
+    """JSON rendering of a multi-kernel (suite) lint run."""
+    return json.dumps(
+        {
+            "kernels": [report.to_dict() for report in reports],
+            "n_errors": sum(len(r.errors) for r in reports),
+            "n_warnings": sum(len(r.warnings) for r in reports),
+        },
+        indent=2,
+    )

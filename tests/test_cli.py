@@ -74,3 +74,50 @@ class TestCommands:
         assert main(argv) == 0
         assert capsys.readouterr().out == first
         assert "oracle" in first
+
+
+class TestLint:
+    def test_single_kernel_clean(self, capsys):
+        assert main(["lint", "vectoradd", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "vectoradd: clean" in out
+        assert "0 error(s)" in out
+
+    def test_suite_is_clean(self, capsys):
+        assert main(["lint", "--suite", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "40 kernel(s): 0 error(s), 0 warning(s)" in out
+
+    def test_all_is_the_suite(self, capsys):
+        assert main(["lint", "all", "--scale", "tiny"]) == 0
+        assert "40 kernel(s)" in capsys.readouterr().out
+
+    def test_json_format(self, capsys):
+        import json
+
+        assert main(
+            ["lint", "vectoradd", "--scale", "tiny", "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_errors"] == 0
+        assert payload["kernels"][0]["kernel"] == "vectoradd"
+
+    def test_broken_kernel_exits_nonzero(self, capsys, monkeypatch):
+        from repro.isa import Imm, Instruction, Kernel, Reg
+        from repro.workloads import suite as suite_mod
+
+        program = (
+            Instruction("iadd", dst=Reg(1), srcs=(Reg(0), Imm(1))),
+            Instruction("st", srcs=(Imm(0), Reg(1))),
+            Instruction("exit"),
+        )
+        kernel = Kernel("broken", program, n_threads=32, block_size=32)
+        spec = suite_mod.KernelSpec(
+            name="broken", suite="test", tags=frozenset(),
+            description="uninitialized read",
+            _factory=lambda scale: (kernel, None),
+        )
+        monkeypatch.setitem(suite_mod.SUITE, "broken", spec)
+        assert main(["lint", "broken", "--scale", "tiny"]) == 1
+        out = capsys.readouterr().out
+        assert "uninit-read" in out and "error" in out

@@ -128,6 +128,25 @@ class TestBuilder:
         with pytest.raises(BuilderError):
             b.build(32, 32)
 
+    def test_undefined_reconv_label(self):
+        b = KernelBuilder("k")
+        pred = b.setp_lt(b.lane(), 8)
+        target = b.label()
+        b.bra(target, pred=pred, reconv="nowhere")
+        b.exit()
+        with pytest.raises(BuilderError, match="nowhere"):
+            b.build(32, 32)
+
+    def test_explicit_reconv_label_resolves(self):
+        b = KernelBuilder("k")
+        pred = b.setp_lt(b.lane(), 8)
+        b.bra("join", pred=pred, reconv="join")
+        b.label("join")
+        b.exit()
+        kernel = b.build(32, 32)
+        bra = next(i for i in kernel.program if i.opcode == "bra")
+        assert bra.reconv == bra.target == len(kernel.program) - 1
+
     def test_duplicate_label(self):
         b = KernelBuilder("k")
         b.label("spot")

@@ -237,3 +237,53 @@ class TestNanErrors:
         validation = validate_model([good, self._degenerate()], "mt_mshr_band")
         assert validation.n == 1
         assert not math.isnan(validation.mean_error)
+
+
+class TestLintStage:
+    def _broken_spec(self):
+        from repro.isa import Imm, Instruction, Kernel, Reg
+        from repro.workloads.suite import KernelSpec
+
+        program = (
+            Instruction("iadd", dst=Reg(1), srcs=(Reg(0), Imm(1))),
+            Instruction("st", srcs=(Imm(0), Reg(1))),
+            Instruction("exit"),
+        )
+        kernel = Kernel("broken", program, n_threads=32, block_size=32)
+        return KernelSpec(
+            name="broken", suite="test", tags=frozenset(),
+            description="uninitialized read",
+            _factory=lambda scale: (kernel, None),
+        )
+
+    def test_lint_runs_before_trace_and_is_cached(self, config):
+        pipeline = Pipeline(config, scale=Scale.tiny(), lint=True)
+        pipeline.trace("vectoradd")
+        assert pipeline.counters["lint"] == 1
+        assert pipeline.counters["trace"] == 1
+        assert pipeline.timings["lint"] > 0
+        pipeline.trace("vectoradd")
+        assert pipeline.counters["lint"] == 1  # second call is a store hit
+        assert pipeline.hits["lint"] == 1
+
+    def test_lint_off_by_default(self, pipeline):
+        pipeline.trace("vectoradd")
+        assert pipeline.counters["lint"] == 0
+
+    def test_lint_error_blocks_the_trace(self, config, monkeypatch):
+        from repro.staticcheck import StaticCheckError
+        from repro.workloads.suite import SUITE
+
+        monkeypatch.setitem(SUITE, "broken", self._broken_spec())
+        pipeline = Pipeline(config, scale=Scale.tiny(), lint=True)
+        with pytest.raises(StaticCheckError) as excinfo:
+            pipeline.trace("broken")
+        assert excinfo.value.report.by_check("uninit-read")
+        # No trace artifact was built (or cached) for the bad kernel.
+        assert pipeline.counters["trace"] == 0
+
+    def test_verify_returns_the_report(self, config):
+        pipeline = Pipeline(config, scale=Scale.tiny())
+        report = pipeline.verify("vectoradd")
+        assert report.kernel == "vectoradd"
+        assert not report.has_errors
