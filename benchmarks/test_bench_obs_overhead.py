@@ -1,0 +1,105 @@
+"""Bench: observability overhead — disabled tracing must stay free.
+
+The pipeline keeps a tracer and metrics registry unconditionally; the
+contract (repro.obs.tracer, design constraint 1) is that the *disabled*
+path costs nothing measurable.  This bench times the same
+trace-plus-oracle computation three ways:
+
+``baseline``
+    The raw stage computes (suite build → emulate → oracle), no
+    pipeline, no obs — the untraced floor.
+``disabled``
+    Through ``Pipeline.simulate`` with the default disabled tracer —
+    adds content-addressed keys, the in-memory store, metric counters
+    and no-op span calls.
+``enabled``
+    Same, with a recording tracer and timeline sampling — the full
+    observability cost, recorded for context (not asserted).
+
+Each timing is a min-of-N (coldest-cache noise suppressed); the
+assertion allows 5% relative plus a small absolute grace for sub-ms
+jitter.  Results land in ``BENCH_obs.json`` at the repo root.
+"""
+
+import json
+import os
+import time
+
+from benchmarks.conftest import run_once
+from repro.config import GPUConfig
+from repro.obs import Tracer
+from repro.pipeline import Pipeline
+from repro.timing.simulator import simulate_kernel
+from repro.trace.emulator import emulate
+from repro.workloads import Scale
+from repro.workloads.suite import SUITE
+
+KERNEL = "cfd_step_factor"
+WARPS = 8
+ROUNDS = 5
+
+RESULTS_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_obs.json"
+)
+
+
+def _config():
+    return GPUConfig.small(n_cores=2, warps_per_core=16)
+
+
+def _baseline():
+    """The untraced floor: exactly the work the pipeline stages do."""
+    config = _config()
+    scale = Scale.tiny()
+    kernel, memory = SUITE[KERNEL].build(scale)
+    trace = emulate(kernel, config, memory=memory)
+    return simulate_kernel(trace, config, warps_per_core=WARPS)
+
+
+def _pipeline_run(tracer=None, timeline_interval=None):
+    pipeline = Pipeline(
+        _config(), scale=Scale.tiny(), tracer=tracer,
+        timeline_interval=timeline_interval,
+    )
+    return pipeline.simulate(KERNEL, warps_per_core=WARPS)
+
+
+def _min_time(fn, rounds=ROUNDS):
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_bench_obs_overhead(benchmark):
+    baseline = _min_time(_baseline)
+    disabled = _min_time(_pipeline_run)
+    enabled = _min_time(
+        lambda: _pipeline_run(tracer=Tracer(), timeline_interval=256.0)
+    )
+
+    results = {
+        "kernel": KERNEL,
+        "warps_per_core": WARPS,
+        "rounds": ROUNDS,
+        "baseline_s": baseline,
+        "disabled_s": disabled,
+        "enabled_s": enabled,
+        "disabled_overhead_ratio": disabled / baseline,
+        "enabled_overhead_ratio": enabled / baseline,
+    }
+    with open(RESULTS_PATH, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+    benchmark.extra_info.update(results)
+
+    run_once(benchmark, _pipeline_run)
+
+    # The satellite contract: the disabled-tracer pipeline path stays
+    # within 5% of the untraced baseline (plus 50ms absolute grace so
+    # sub-ms runs don't fail on scheduler jitter).
+    assert disabled <= baseline * 1.05 + 0.05, (
+        "disabled-tracer pipeline run %.4fs exceeds untraced baseline "
+        "%.4fs by more than 5%%" % (disabled, baseline)
+    )

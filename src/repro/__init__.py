@@ -19,18 +19,21 @@ Quickstart
 from repro.config import GPUConfig
 from repro.core.model import GPUMech, ModelInputs, Prediction
 from repro.core.cpi_stack import CPIStack, StallType
+from repro.obs import MetricsRegistry, Tracer
 from repro.pipeline import EvalRequest, Pipeline
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CPIStack",
     "EvalRequest",
     "GPUConfig",
     "GPUMech",
+    "MetricsRegistry",
     "ModelInputs",
     "Pipeline",
     "Prediction",
     "StallType",
+    "Tracer",
     "__version__",
 ]

@@ -225,11 +225,17 @@ def render_characterization(char: KernelCharacterization) -> str:
 
 
 def suite_report(
-    scale=None, kernels: Optional[List[str]] = None, config=None
+    scale=None, kernels: Optional[List[str]] = None, config=None,
+    pipeline=None,
 ) -> str:
-    """Characterize (a subset of) the workload suite as a table."""
+    """Characterize (a subset of) the workload suite as a table.
+
+    With ``pipeline`` set, traces come from (and are cached by) that
+    :class:`~repro.pipeline.Pipeline` — its stage timings then describe
+    this report and a stage-timing table is appended.
+    """
     from repro.config import GPUConfig
-    from repro.harness.reporting import render_table
+    from repro.harness.reporting import render_stage_table, render_table
     from repro.trace.emulator import emulate
     from repro.workloads.generators import Scale
     from repro.workloads.suite import SUITE, kernel_names
@@ -240,8 +246,11 @@ def suite_report(
     rows = []
     for name in names:
         kernel, memory = SUITE[name].build(scale)
-        char = characterize(emulate(kernel, config, memory=memory),
-                            kernel=kernel)
+        if pipeline is not None:
+            trace = pipeline.trace(name)
+        else:
+            trace = emulate(kernel, config, memory=memory)
+        char = characterize(trace, kernel=kernel)
         rows.append(
             (
                 name,
@@ -254,9 +263,14 @@ def suite_report(
                 "%.0f%%" % (100 * char.write_request_fraction),
             )
         )
-    return render_table(
+    report = render_table(
         ("kernel", "static/blocks", "insts", "warp CV", "mean div",
          "max div", "masked", "writes"),
         rows,
         title="workload characterization (%d kernels)" % len(rows),
     )
+    if pipeline is not None:
+        stage_table = render_stage_table(pipeline.metrics)
+        if stage_table:
+            report += "\n\n" + stage_table
+    return report

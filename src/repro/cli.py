@@ -12,25 +12,48 @@ Subcommands
     Run both and report the relative error of every Table II model.
 ``experiment``
     Regenerate one of the paper's figures (figure4 ... figure16, speedup).
+``characterize``
+    Behavioural metrics of a kernel ('all' for the whole suite).
 ``lint``
     Statically verify kernels (CFG + dataflow checks); nonzero exit on
     any error-severity diagnostic.
+``profile``
+    Evaluate kernels with tracing, metrics and oracle timeline sampling
+    on; writes a Chrome-trace/Perfetto file and prints stage timings.
+
+Observability flags (global, also accepted after the subcommand):
+``-v/--verbose`` raises diagnostic logging (stderr), ``-q/--quiet``
+silences human-readable reports, ``--trace-out FILE`` records a span
+trace of the whole invocation, ``--metrics-out FILE`` dumps the metrics
+registry as JSON.  Human reports go through the logging layer
+(:mod:`repro.harness.reporting`); machine-readable output (``lint
+--format json``) always prints directly to stdout.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
+import os
 import sys
 from typing import List, Optional
 
 from repro.config import GPUConfig
 from repro.harness import experiments as ex
-from repro.harness.reporting import render_table
+from repro.harness.reporting import (
+    configure_logging,
+    emit,
+    render_stage_table,
+    render_table,
+)
 from repro.harness.runner import MODEL_LABELS, MODELS, Runner
 from repro.harness.speedup import run_speedup
+from repro.obs import MetricsRegistry, Tracer, set_tracer
 from repro.trace.emulator import emulate
 from repro.workloads.generators import Scale
 from repro.workloads.suite import SUITE, get_kernel, kernel_names
+
+_LOG = logging.getLogger(__name__)
 
 _SCALES = {
     "tiny": Scale.tiny,
@@ -49,6 +72,30 @@ _EXPERIMENTS = {
     "figure16": lambda runner: ex.run_figure16(runner),
     "speedup": lambda runner: run_speedup(runner),
 }
+
+#: Default oracle sampling period (cycles) for ``repro profile``.
+DEFAULT_TIMELINE_INTERVAL = 500.0
+
+
+def _add_obs_args(parser: argparse.ArgumentParser,
+                  top_level: bool = False) -> None:
+    """Observability flags, shared by the top-level parser and every
+    subparser (``SUPPRESS`` defaults keep the subparser copies from
+    clobbering values already parsed at the top level)."""
+    default = (lambda v: v) if top_level else (lambda v: argparse.SUPPRESS)
+    parser.add_argument("-v", "--verbose", action="count",
+                        default=default(0),
+                        help="diagnostic logging on stderr (-vv for debug)")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        default=default(False),
+                        help="suppress human-readable report output")
+    parser.add_argument("--trace-out", metavar="FILE",
+                        default=default(None),
+                        help="write a Chrome-trace/Perfetto span trace "
+                        "of this invocation (open in ui.perfetto.dev)")
+    parser.add_argument("--metrics-out", metavar="FILE",
+                        default=default(None),
+                        help="write the metrics registry as JSON")
 
 
 def _add_machine_args(parser: argparse.ArgumentParser) -> None:
@@ -72,6 +119,7 @@ def _add_machine_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--lint", action="store_true",
                         help="statically verify each kernel before tracing "
                         "(abort on error-severity diagnostics)")
+    _add_obs_args(parser)
 
 
 def _machine(args) -> GPUConfig:
@@ -84,13 +132,17 @@ def _machine(args) -> GPUConfig:
 
 
 def _runner(args) -> Runner:
-    """A pipeline-backed runner honouring ``--jobs``/``--cache-dir``."""
+    """A pipeline-backed runner honouring ``--jobs``/``--cache-dir``
+    plus the session tracer/metrics installed by :func:`main`."""
     return Runner(
         _machine(args),
         _SCALES[args.scale](),
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         lint=args.lint,
+        tracer=getattr(args, "obs_tracer", None),
+        metrics=getattr(args, "obs_metrics", None),
+        timeline_interval=getattr(args, "timeline_interval", None),
     )
 
 
@@ -102,28 +154,28 @@ def _cmd_list(args) -> int:
             (name, spec.suite, ",".join(sorted(spec.tags)) or "-",
              spec.description)
         )
-    print(render_table(("kernel", "suite", "tags", "description"), rows,
-                       title="workload suite (%d kernels)" % len(rows)))
+    emit(render_table(("kernel", "suite", "tags", "description"), rows,
+                      title="workload suite (%d kernels)" % len(rows)))
     return 0
 
 
 def _cmd_predict(args) -> int:
     runner = _runner(args)
     kernel, _ = get_kernel(args.kernel, _SCALES[args.scale]())
-    print(kernel.describe())
+    emit(kernel.describe())
     model, inputs = runner.prepare(
         args.kernel, selection_strategy=args.strategy
     )
     prediction = model.predict(inputs, warps_per_core=args.warps)
-    print(prediction.summary())
-    print(prediction.cpi_stack.render())
+    emit(prediction.summary())
+    emit(prediction.cpi_stack.render())
     return 0
 
 
 def _cmd_simulate(args) -> int:
     runner = _runner(args)
     stats = runner.simulate(args.kernel, warps_per_core=args.warps)
-    print(stats.summary())
+    emit(stats.summary())
     return 0
 
 
@@ -136,15 +188,15 @@ def _cmd_validate(args) -> int:
         for m in MODELS
     ]
     rows.append(("oracle", "%.3f" % result.oracle_cpi, "-"))
-    print(render_table(("model", "CPI", "error"), rows,
-                       title="%s [%s, %d warps/core]"
-                       % (result.kernel, result.policy, result.n_warps)))
+    emit(render_table(("model", "CPI", "error"), rows,
+                      title="%s [%s, %d warps/core]"
+                      % (result.kernel, result.policy, result.n_warps)))
     return 0
 
 
 def _cmd_experiment(args) -> int:
     result = _EXPERIMENTS[args.name](_runner(args))
-    print(result.text)
+    emit(result.text)
     return 0
 
 
@@ -165,9 +217,11 @@ def _cmd_lint(args) -> int:
         kernel, _ = get_kernel(name, scale)
         reports.append(lint_kernel(kernel))
     if args.format == "json":
+        # Machine-readable output bypasses the logging layer: it must
+        # stay on stdout verbatim, regardless of -q/-v.
         print(reports_to_json(reports))
     else:
-        print(render_reports(reports))
+        emit(render_reports(reports))
     return 1 if any(r.has_errors for r in reports) else 0
 
 
@@ -178,14 +232,65 @@ def _cmd_characterize(args) -> int:
         suite_report,
     )
 
-    config = _machine(args)
     scale = _SCALES[args.scale]()
     if args.kernel == "all":
-        print(suite_report(scale=scale, config=config))
+        runner = _runner(args)
+        emit(suite_report(scale=scale, config=runner.config,
+                          pipeline=runner.pipeline))
         return 0
     kernel, memory = get_kernel(args.kernel, scale)
-    trace = emulate(kernel, config, memory=memory)
-    print(render_characterization(characterize(trace, kernel=kernel)))
+    trace = emulate(kernel, _machine(args), memory=memory)
+    emit(render_characterization(characterize(trace, kernel=kernel)))
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    """Evaluate kernels with full observability on.
+
+    Every pipeline stage is traced, worker metrics are merged back, and
+    the oracle samples a per-core activity timeline that lands in the
+    exported trace as Perfetto counter tracks.
+    """
+    names = args.kernels or list(kernel_names())
+    unknown = [n for n in names if n not in SUITE]
+    if unknown:
+        _LOG.error("unknown kernel(s): %s", ", ".join(unknown))
+        return 2
+    runner = _runner(args)
+    requests = [{"kernel": name, "warps_per_core": args.warps}
+                for name in names]
+    results = runner.evaluate_many(requests)
+
+    rows = []
+    for result in results:
+        rows.append(
+            (result.kernel, result.policy, result.n_warps,
+             "%.3f" % result.oracle_cpi,
+             "%.3f" % result.model_cpis["mt_mshr_band"],
+             "%.1f%%" % (100 * result.error("mt_mshr_band")))
+        )
+    emit(render_table(
+        ("kernel", "policy", "warps", "oracle CPI", "GPUMech CPI", "error"),
+        rows,
+        title="profile (%d kernels, jobs=%d)" % (len(results), runner.jobs),
+    ))
+    stage_table = render_stage_table(runner.metrics)
+    if stage_table:
+        emit("")
+        emit(stage_table)
+
+    # Oracle timelines become counter tracks in the session trace file.
+    extra = getattr(args, "obs_extra_events", None)
+    if extra is not None:
+        prefix_names = len(results) > 1
+        for result in results:
+            timeline = result.oracle.timeline
+            if timeline is None:
+                continue
+            extra.extend(timeline.counter_events(
+                pid=os.getpid(),
+                track_prefix="%s " % result.kernel if prefix_names else "",
+            ))
     return 0
 
 
@@ -196,9 +301,11 @@ def build_parser() -> argparse.ArgumentParser:
         description="GPUMech: interval-analysis GPU performance modeling "
         "(MICRO 2014 reproduction)",
     )
+    _add_obs_args(parser, top_level=True)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list the workload suite")
+    lister = sub.add_parser("list", help="list the workload suite")
+    _add_obs_args(lister)
 
     predict = sub.add_parser("predict", help="run GPUMech on a kernel")
     predict.add_argument("kernel")
@@ -241,6 +348,21 @@ def build_parser() -> argparse.ArgumentParser:
                       help="diagnostic output format")
     lint.add_argument("--scale", choices=sorted(_SCALES), default="small",
                       help="workload scale preset")
+    _add_obs_args(lint)
+
+    profile = sub.add_parser(
+        "profile",
+        help="evaluate kernels with span tracing, metrics and a "
+        "per-core oracle timeline (Perfetto export)",
+    )
+    profile.add_argument("--suite-kernel", action="append", dest="kernels",
+                         metavar="KERNEL", default=None,
+                         help="kernel to profile (repeatable; default: "
+                         "the whole suite)")
+    profile.add_argument("--timeline-interval", type=float,
+                         default=DEFAULT_TIMELINE_INTERVAL, metavar="CYCLES",
+                         help="oracle sampling period in cycles")
+    _add_machine_args(profile)
 
     return parser
 
@@ -248,6 +370,19 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    configure_logging(verbose=args.verbose, quiet=args.quiet)
+    if args.command == "profile" and not args.trace_out:
+        args.trace_out = "repro-trace.json"
+
+    # One tracer + registry per invocation, installed process-wide so
+    # library code reached outside the Runner still records into them.
+    tracer = Tracer(enabled=bool(args.trace_out))
+    metrics = MetricsRegistry()
+    args.obs_tracer = tracer
+    args.obs_metrics = metrics
+    args.obs_extra_events = []
+    set_tracer(tracer)
+
     handlers = {
         "list": _cmd_list,
         "predict": _cmd_predict,
@@ -256,8 +391,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "characterize": _cmd_characterize,
         "lint": _cmd_lint,
+        "profile": _cmd_profile,
     }
-    return handlers[args.command](args)
+    try:
+        with tracer.span(args.command, category="cli"):
+            status = handlers[args.command](args)
+    finally:
+        set_tracer(None)
+    if args.trace_out:
+        tracer.export_chrome(
+            args.trace_out,
+            extra_events=args.obs_extra_events,
+            metadata={"command": args.command},
+        )
+        _LOG.info("wrote %d spans to %s", tracer.n_spans, args.trace_out)
+    if args.metrics_out:
+        metrics.export(args.metrics_out)
+        _LOG.info("wrote metrics to %s", args.metrics_out)
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -109,6 +109,15 @@ class Runner:
         Opt-in static verification: lint every kernel (cached and timed
         as its own pipeline stage) before its first trace, aborting on
         error-severity diagnostics.
+    tracer:
+        Span tracer shared with the pipeline (defaults to the
+        process-wide tracer, which is disabled unless configured).
+    metrics:
+        Metrics registry the pipeline records into (a fresh private one
+        by default).
+    timeline_interval:
+        Oracle sampling period in cycles; populates
+        ``SimStats.timeline`` on every oracle run (None: off).
     """
 
     def __init__(
@@ -119,6 +128,9 @@ class Runner:
         cache_dir: Optional[str] = None,
         store: Optional[ArtifactStore] = None,
         lint: bool = False,
+        tracer=None,
+        metrics=None,
+        timeline_interval: Optional[float] = None,
     ):
         self.config = config
         self.scale = scale if scale is not None else Scale.small()
@@ -129,12 +141,20 @@ class Runner:
             cache_dir=cache_dir,
             jobs=jobs,
             lint=lint,
+            tracer=tracer,
+            metrics=metrics,
+            timeline_interval=timeline_interval,
         )
 
     @property
     def jobs(self) -> int:
         """Process-pool width used for parallel evaluation."""
         return self.pipeline.jobs
+
+    @property
+    def metrics(self):
+        """The pipeline's metrics registry (stage counters and more)."""
+        return self.pipeline.metrics
 
     def trace(self, kernel_name: str) -> KernelTrace:
         """The (cached) functional trace of a suite kernel."""

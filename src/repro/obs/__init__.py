@@ -1,0 +1,55 @@
+"""Observability layer: span tracing, metrics, timeline sampling.
+
+``tracer``
+    Hierarchical span tracer (context-manager API, thread/process-safe,
+    no-op when disabled) with JSONL and Chrome-trace/Perfetto export.
+``metrics``
+    Registry of counters/gauges/fixed-bucket histograms that snapshots,
+    diffs and merges — how pool workers ship their stage counters back
+    to the parent.
+``timeline``
+    Per-interval occupancy/issue/stall samples of the timing oracle,
+    rendered as Perfetto counter tracks alongside the spans.
+``schema``
+    Checked-in JSON schemas for every exported format plus a
+    dependency-free validator (also a CLI: ``python -m repro.obs.schema``).
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_MS_BUCKETS,
+    RATIO_BUCKETS,
+    CounterMetric,
+    GaugeMetric,
+    HistogramMetric,
+    MetricsRegistry,
+    diff_snapshots,
+    render_key,
+)
+from repro.obs.timeline import Timeline, TimelineSample
+from repro.obs.tracer import (
+    NULL_TRACER,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+__all__ = [
+    "CounterMetric",
+    "DEFAULT_MS_BUCKETS",
+    "GaugeMetric",
+    "HistogramMetric",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "RATIO_BUCKETS",
+    "Timeline",
+    "TimelineSample",
+    "Tracer",
+    "diff_snapshots",
+    "get_tracer",
+    "render_key",
+    "set_tracer",
+    "write_chrome_trace",
+    "write_jsonl",
+]

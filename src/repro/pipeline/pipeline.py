@@ -10,29 +10,42 @@
    (in-memory by default; memory-fronted disk with ``cache_dir``), so a
    hardware sweep automatically re-runs only the cache-sim-and-later
    stages and a repeated sweep re-runs nothing at all;
-3. *counted and timed* — ``pipeline.counters[stage]`` is the number of
-   real executions (cache misses) and ``pipeline.timings[stage]`` their
-   cumulative wall-clock, which is what the speedup harness and the
-   invalidation tests read.
+3. *counted and timed* — every execution lands in the pipeline's
+   :class:`~repro.obs.metrics.MetricsRegistry` (stage execution/hit
+   counters, wall-clock totals and latency histograms, cache-sim and
+   oracle statistics); ``pipeline.counters[stage]`` /
+   ``pipeline.timings[stage]`` / ``pipeline.hits[stage]`` are live views
+   over that registry, which is what the speedup harness and the
+   invalidation tests read;
+4. *traced* — when the pipeline's :class:`~repro.obs.tracer.Tracer` is
+   enabled, each real execution is a span in the exported timeline
+   (disabled tracing allocates nothing).
 
 Independent (kernel × sweep-point) evaluations fan out over a
 ``ProcessPoolExecutor`` via :meth:`Pipeline.evaluate_many`; the per-warp
 interval-profile loop of a single evaluation fans out the same way when
 ``jobs > 1``.  Parallel execution is bitwise-deterministic: workers run
 the identical pure stage functions and results are collected in request
-order.
+order.  Each worker ships its metric deltas and spans back with every
+result, so after a parallel sweep the parent's stage counters equal a
+serial run's (exact whenever requests do not share intermediate
+artifacts; shared artifacts may be computed once per worker).
 """
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
+import os
 import time
 from collections import Counter, defaultdict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.config import GPUConfig
+from repro.obs.metrics import MetricsRegistry, diff_snapshots
+from repro.obs.tracer import Tracer, get_tracer
 from repro.pipeline.stages import (
     compute_cache_sim,
     compute_clustering,
@@ -51,6 +64,8 @@ from repro.workloads.generators import Scale
 #: Minimum warps before the per-warp profile loop is worth forking for.
 _PARALLEL_WARP_THRESHOLD = 8
 
+_LOG = logging.getLogger(__name__)
+
 
 @dataclass(frozen=True)
 class EvalRequest:
@@ -64,29 +79,51 @@ class EvalRequest:
 
 
 def _mp_context():
-    """Prefer fork (workers inherit the warm in-memory store for free)."""
+    """Prefer fork (workers inherit the warm in-memory store for free).
+
+    ``REPRO_START_METHOD`` overrides the choice (the CI smoke job runs
+    the same sweep under both ``fork`` and ``spawn``).
+    """
+    method = os.environ.get("REPRO_START_METHOD")
+    if method:
+        return multiprocessing.get_context(method)
     methods = multiprocessing.get_all_start_methods()
     return multiprocessing.get_context("fork" if "fork" in methods else None)
 
 
 # Worker-process globals (set once per worker by the pool initializer).
 _WORKER_PIPELINE: Optional["Pipeline"] = None
+#: Metrics snapshot at the last worker→parent hand-off; deltas against
+#: it are what each result ships home.
+_WORKER_BASELINE: Optional[Dict[str, Any]] = None
 
 
 def _init_worker(pipeline: "Pipeline") -> None:
-    global _WORKER_PIPELINE
+    global _WORKER_PIPELINE, _WORKER_BASELINE
     _WORKER_PIPELINE = pipeline
     _WORKER_PIPELINE.jobs = 1  # no nested pools inside workers
+    # Fork copies the parent's already-recorded history; it must not be
+    # reported twice, so baseline the metrics and discard the spans.
+    _WORKER_BASELINE = pipeline.metrics.snapshot()
+    pipeline.tracer.drain()
 
 
 def _evaluate_in_worker(request: EvalRequest):
-    return _WORKER_PIPELINE.evaluate(
+    """Run one sweep point; returns (result, metric delta, spans)."""
+    global _WORKER_BASELINE
+    pipeline = _WORKER_PIPELINE
+    result = pipeline.evaluate(
         request.kernel,
         config=request.config,
         policy=request.policy,
         warps_per_core=request.warps_per_core,
         selection_strategy=request.selection_strategy,
     )
+    snapshot = pipeline.metrics.snapshot()
+    delta = diff_snapshots(snapshot, _WORKER_BASELINE)
+    _WORKER_BASELINE = snapshot
+    spans = pipeline.tracer.drain() if pipeline.tracer.enabled else []
+    return result, delta, spans
 
 
 def _profile_chunk(args):
@@ -106,6 +143,9 @@ class Pipeline:
         jobs: int = 1,
         rr_mode: str = "probabilistic",
         lint: bool = False,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        timeline_interval: Optional[float] = None,
     ):
         if store is not None and cache_dir is not None:
             raise ValueError("pass either store or cache_dir, not both")
@@ -119,14 +159,35 @@ class Pipeline:
         #: before its first emulation, and lint errors abort the run
         #: before any artifact is built from the invalid kernel.
         self.lint = lint
-        #: Real stage executions (store misses), keyed by stage name.
-        self.counters: Counter = Counter()
-        #: Store hits, keyed by stage name.
-        self.hits: Counter = Counter()
-        #: Cumulative compute seconds per stage (misses only).
-        self.timings: Dict[str, float] = defaultdict(float)
+        #: Span tracer; defaults to the process-wide one (disabled
+        #: unless something installed an enabled tracer).
+        self.tracer = tracer if tracer is not None else get_tracer()
+        #: Home of every counter/timing this pipeline produces; pool
+        #: workers ship deltas of it back with each result.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Oracle sampling period in cycles (None: no timeline).
+        self.timeline_interval = timeline_interval
 
     # -- plumbing -----------------------------------------------------------
+
+    @property
+    def counters(self) -> Counter:
+        """Real stage executions (store misses), keyed by stage name."""
+        return self.metrics.labeled_values("pipeline.stage_executions",
+                                           "stage")
+
+    @property
+    def hits(self) -> Counter:
+        """Store hits, keyed by stage name."""
+        return self.metrics.labeled_values("pipeline.stage_hits", "stage")
+
+    @property
+    def timings(self) -> Dict[str, float]:
+        """Cumulative compute seconds per stage (misses only)."""
+        return defaultdict(
+            float,
+            self.metrics.labeled_values("pipeline.stage_seconds", "stage"),
+        )
 
     def _scale_part(self) -> tuple:
         return (self.scale.n_blocks, self.scale.block_size, self.scale.iters)
@@ -135,12 +196,20 @@ class Pipeline:
         """Store lookup, else compute + record + put."""
         artifact = self.store.get(key)
         if artifact is not None:
-            self.hits[stage] += 1
+            self.metrics.counter("pipeline.stage_hits", stage=stage).inc()
             return artifact
-        start = time.perf_counter()
-        artifact = compute()
-        self.timings[stage] += time.perf_counter() - start
-        self.counters[stage] += 1
+        with self.tracer.span(stage, category="stage", args={"key": key}):
+            start = time.perf_counter()
+            artifact = compute()
+            elapsed = time.perf_counter() - start
+        metrics = self.metrics
+        metrics.counter("pipeline.stage_executions", stage=stage).inc()
+        metrics.counter("pipeline.stage_seconds", stage=stage).inc(elapsed)
+        metrics.histogram("pipeline.stage_ms", stage=stage).observe(
+            elapsed * 1e3
+        )
+        _LOG.debug("stage %s executed in %.1f ms (%s)",
+                   stage, elapsed * 1e3, key)
         self.store.put(key, artifact)
         return artifact
 
@@ -186,14 +255,27 @@ class Pipeline:
 
     def _cache_sim(self, trace, trace_key_, config, warps_per_core):
         key = stage_key("cache_sim", config, trace_key_, warps_per_core)
-        return (
-            self._execute(
-                "cache_sim",
-                key,
-                lambda: compute_cache_sim(trace, config, warps_per_core),
-            ),
-            key,
-        )
+
+        def compute():
+            result = compute_cache_sim(trace, config, warps_per_core)
+            self._record_cache_metrics(result)
+            return result
+
+        return self._execute("cache_sim", key, compute), key
+
+    def _record_cache_metrics(self, result) -> None:
+        """Absorb one cache simulation's hit/miss statistics (miss only:
+        cached replays contribute nothing new)."""
+        from repro.obs.metrics import RATIO_BUCKETS
+
+        metrics = self.metrics
+        metrics.counter("cache_sim.runs").inc()
+        metrics.histogram(
+            "cache_sim.l1_miss_rate", buckets=RATIO_BUCKETS
+        ).observe(result.l1_miss_rate)
+        metrics.histogram(
+            "cache_sim.l2_miss_rate", buckets=RATIO_BUCKETS
+        ).observe(result.l2_miss_rate)
 
     def _latency_table(self, trace, cache_result, cache_key, config):
         key = stage_key("latency_table", config, cache_key)
@@ -313,15 +395,56 @@ class Pipeline:
         """Run the cycle-level timing oracle (cached on the full config)."""
         config = self._effective_config(config)
         trace = self.trace(kernel_name, config)
-        key = stage_key(
-            "oracle",
-            config,
-            self.trace_key(kernel_name, config),
-            warps_per_core,
-        )
-        return self._execute(
-            "oracle", key, lambda: compute_oracle(trace, config, warps_per_core)
-        )
+        interval = self.timeline_interval
+        parts: tuple = (self.trace_key(kernel_name, config), warps_per_core)
+        if interval is not None:
+            # Timeline-bearing artifacts are keyed apart so a cached
+            # no-timeline run never satisfies a sampling request (and
+            # existing caches stay valid).
+            parts += (("timeline", interval),)
+        key = stage_key("oracle", config, *parts)
+
+        def compute():
+            stats = compute_oracle(
+                trace, config, warps_per_core, timeline_interval=interval
+            )
+            self._record_oracle_metrics(stats)
+            return stats
+
+        return self._execute("oracle", key, compute)
+
+    def _record_oracle_metrics(self, stats) -> None:
+        """Absorb one oracle run's counters (miss only, like any stage)."""
+        metrics = self.metrics
+        metrics.counter("oracle.runs").inc()
+        metrics.counter("oracle.insts_issued").inc(stats.total_insts)
+        metrics.counter("oracle.cycles").inc(stats.total_cycles)
+        metrics.counter("oracle.dram_requests").inc(stats.dram_requests)
+        metrics.counter("oracle.mshr_merges").inc(stats.mshr_merges)
+        metrics.counter("oracle.mshr_allocations").inc(stats.mshr_allocations)
+        for core in stats.cores:
+            label = str(core.core_id)
+            metrics.counter("oracle.core_insts", core=label).inc(
+                core.insts_issued
+            )
+            metrics.counter("oracle.core_issue_cycles", core=label).inc(
+                core.issue_cycles
+            )
+            metrics.counter("oracle.core_active_cycles", core=label).inc(
+                core.active_cycles
+            )
+            metrics.counter("oracle.core_mshr_stall_cycles", core=label).inc(
+                core.mshr_stall_cycles
+            )
+            metrics.counter("oracle.core_sfu_stall_cycles", core=label).inc(
+                core.sfu_stall_cycles
+            )
+            metrics.counter(
+                "oracle.core_barrier_stall_cycles", core=label
+            ).inc(core.barrier_stall_cycles)
+            metrics.counter("oracle.core_dep_stall_cycles", core=label).inc(
+                core.dep_stall_cycles
+            )
 
     def predict(
         self,
@@ -372,12 +495,24 @@ class Pipeline:
         selection_strategy: str = "clustering",
     ):
         """Oracle + all Table II models on one kernel (one sweep point)."""
+        config = self._effective_config(config, policy)
+        with self.tracer.span(
+            "evaluate",
+            category="pipeline",
+            args={"kernel": kernel_name, "policy": config.scheduler},
+        ):
+            return self._evaluate_traced(
+                kernel_name, config, warps_per_core, selection_strategy
+            )
+
+    def _evaluate_traced(
+        self, kernel_name, config, warps_per_core, selection_strategy
+    ):
         from repro.baselines.markov import markov_chain_cpi
         from repro.baselines.naive import naive_interval_cpi
         from repro.core.model import resident_warps_per_core
         from repro.harness.runner import KernelResult  # circular at import
 
-        config = self._effective_config(config, policy)
         oracle = self.simulate(kernel_name, config, warps_per_core)
         inputs = self.model_inputs(
             kernel_name,
@@ -428,6 +563,13 @@ class Pipeline:
         out over a process pool; artifacts computed inside workers reach
         the parent only through a shared on-disk store, so pass
         ``cache_dir`` when cross-run reuse matters.
+
+        Workers return their metric deltas and spans alongside each
+        result; both are merged here, so the parent's stage counters,
+        timings and trace reflect the whole sweep — identical to a
+        serial run whenever requests do not share intermediate
+        artifacts (shared ones may execute once per worker, never
+        fewer times than serially).
         """
         requests = [
             r if isinstance(r, EvalRequest) else EvalRequest(**r)
@@ -436,18 +578,35 @@ class Pipeline:
         jobs = self.jobs if jobs is None else max(1, int(jobs))
         if jobs <= 1 or len(requests) <= 1:
             return [_evaluate_with(self, r) for r in requests]
-        for request in requests:  # warm shared traces (deduped by the store)
-            self.trace(
-                request.kernel,
-                self._effective_config(request.config, request.policy),
+        with self.tracer.span(
+            "evaluate_many",
+            category="pipeline",
+            args={"points": len(requests), "jobs": jobs},
+        ):
+            for request in requests:  # warm shared traces (store-deduped)
+                self.trace(
+                    request.kernel,
+                    self._effective_config(request.config, request.policy),
+                )
+            context = _mp_context()
+            _LOG.info(
+                "fanning %d sweep points out over %d workers (%s)",
+                len(requests), jobs, context.get_start_method(),
             )
-        with ProcessPoolExecutor(
-            max_workers=jobs,
-            mp_context=_mp_context(),
-            initializer=_init_worker,
-            initargs=(self,),
-        ) as pool:
-            return list(pool.map(_evaluate_in_worker, requests))
+            with ProcessPoolExecutor(
+                max_workers=jobs,
+                mp_context=context,
+                initializer=_init_worker,
+                initargs=(self,),
+            ) as pool:
+                outcomes = list(pool.map(_evaluate_in_worker, requests))
+        results = []
+        for result, delta, spans in outcomes:
+            self.metrics.merge(delta)
+            if spans:
+                self.tracer.merge(spans)
+            results.append(result)
+        return results
 
 
 def _evaluate_with(pipeline: Pipeline, request: EvalRequest):

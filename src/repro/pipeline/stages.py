@@ -211,6 +211,15 @@ def compute_clustering(profiles, strategy: str):
     return select_representative(profiles, strategy)
 
 
-def compute_oracle(trace, config, warps_per_core: Optional[int]):
-    simulator = TimingSimulator(config, warps_per_core=warps_per_core)
+def compute_oracle(
+    trace,
+    config,
+    warps_per_core: Optional[int],
+    timeline_interval: Optional[float] = None,
+):
+    simulator = TimingSimulator(
+        config,
+        warps_per_core=warps_per_core,
+        timeline_interval=timeline_interval,
+    )
     return simulator.run(trace)

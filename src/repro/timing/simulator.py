@@ -18,6 +18,7 @@ from repro.config import GPUConfig
 from repro.memory.cache import Cache
 from repro.memory.cache_simulator import core_of_block
 from repro.memory.dram import DRAMSystem
+from repro.obs.timeline import Timeline
 from repro.timing.core_model import CoreModel
 from repro.timing.stats import SimStats
 from repro.trace.trace_types import KernelTrace, WarpTrace
@@ -40,6 +41,11 @@ class TimingSimulator:
     cycle_skipping:
         Disable to force the naive one-cycle-at-a-time loop (used by the
         equivalence tests; dramatically slower).
+    timeline_interval:
+        When set, sample every core's occupancy and cumulative stall
+        attribution every that-many cycles into ``SimStats.timeline``
+        (see :mod:`repro.obs.timeline`); ``None`` (the default) records
+        nothing and adds no per-cycle work.
     """
 
     def __init__(
@@ -48,11 +54,15 @@ class TimingSimulator:
         warps_per_core: Optional[int] = None,
         cycle_skipping: bool = True,
         max_cycles: float = 5e8,
+        timeline_interval: Optional[float] = None,
     ):
         self.config = config
         self.warps_per_core = warps_per_core
         self.cycle_skipping = cycle_skipping
         self.max_cycles = max_cycles
+        if timeline_interval is not None and timeline_interval <= 0:
+            raise ValueError("timeline_interval must be positive")
+        self.timeline_interval = timeline_interval
 
     def run(self, trace: KernelTrace) -> SimStats:
         """Simulate the kernel launch; returns aggregate statistics."""
@@ -88,8 +98,18 @@ class TimingSimulator:
         if not cores:
             raise SimulationError("kernel launch assigned no warps to any core")
 
+        timeline: Optional[Timeline] = None
+        next_sample = float("inf")
+        if self.timeline_interval is not None:
+            timeline = Timeline(self.timeline_interval)
+            next_sample = self.timeline_interval
+
         now = 0.0
         while True:
+            if now >= next_sample:
+                self._sample(timeline, cores, now)
+                while next_sample <= now:
+                    next_sample += self.timeline_interval
             issued_any = False
             all_finished = True
             for core in cores:
@@ -117,6 +137,9 @@ class TimingSimulator:
                 )
 
         total_cycles = max(core.stats.finish_cycle for core in cores) + 1.0
+        if timeline is not None:
+            # Closing sample: the final cumulative counters of every core.
+            self._sample(timeline, cores, total_cycles)
         stats = SimStats(
             kernel_name=trace.kernel_name,
             scheduler=config.scheduler,
@@ -129,8 +152,27 @@ class TimingSimulator:
             dram_utilization=dram.utilization(total_cycles),
             mshr_merges=sum(core.mshr.n_merges for core in cores),
             mshr_allocations=sum(core.mshr.n_allocations for core in cores),
+            timeline=timeline,
         )
         return stats
+
+    @staticmethod
+    def _sample(timeline: Timeline, cores: List[CoreModel],
+                now: float) -> None:
+        """Record every core's cumulative counters at cycle ``now``."""
+        for core in cores:
+            stats = core.stats
+            timeline.record(
+                core.core_id,
+                now,
+                0 if core.finished else core.n_resident,
+                insts_issued=stats.insts_issued,
+                issue_cycles=stats.issue_cycles,
+                mshr_stall_cycles=stats.mshr_stall_cycles,
+                sfu_stall_cycles=stats.sfu_stall_cycles,
+                barrier_stall_cycles=stats.barrier_stall_cycles,
+                dep_stall_cycles=stats.dep_stall_cycles,
+            )
 
 
 def simulate_kernel(

@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
+
+from repro.obs.timeline import Timeline
 
 
 @dataclass
@@ -41,6 +43,9 @@ class SimStats:
     dram_utilization: float = 0.0
     mshr_merges: int = 0
     mshr_allocations: int = 0
+    #: Per-interval occupancy/issue/stall samples per core; populated
+    #: only when the simulator ran with ``timeline_interval`` set.
+    timeline: Optional[Timeline] = None
 
     @property
     def cpi(self) -> float:

@@ -121,3 +121,119 @@ class TestLint:
         assert main(["lint", "broken", "--scale", "tiny"]) == 1
         out = capsys.readouterr().out
         assert "uninit-read" in out and "error" in out
+
+
+class TestObservabilityFlags:
+    def test_quiet_suppresses_report(self, capsys):
+        assert main(["-q", "list"]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_quiet_after_subcommand(self, capsys):
+        assert main(["list", "-q"]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_quiet_keeps_machine_readable_json(self, capsys):
+        import json
+
+        assert main(
+            ["lint", "vectoradd", "--scale", "tiny", "--format", "json",
+             "-q"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_errors"] == 0
+
+    def test_verbose_diagnostics_go_to_stderr(self, capsys):
+        assert main(
+            ["-v", "validate", "vectoradd", "--scale", "tiny",
+             "--jobs", "2"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "oracle" in captured.out  # report stays on stdout
+
+    def test_trace_out_on_any_subcommand(self, capsys, tmp_path):
+        from repro.obs.schema import validate_file
+
+        trace = str(tmp_path / "trace.json")
+        assert main(
+            ["validate", "vectoradd", "--scale", "tiny",
+             "--trace-out", trace]
+        ) == 0
+        assert validate_file("trace", trace) == []
+
+    def test_global_tracer_reset_after_main(self):
+        from repro.obs import get_tracer
+
+        assert main(["-q", "list"]) == 0
+        assert get_tracer().enabled is False
+
+
+class TestProfile:
+    def _profile(self, tmp_path, *extra):
+        trace = str(tmp_path / "trace.json")
+        metrics = str(tmp_path / "metrics.json")
+        argv = ["profile", "--suite-kernel", "vectoradd",
+                "--scale", "tiny", "--warps", "4",
+                "--trace-out", trace, "--metrics-out", metrics]
+        argv += list(extra)
+        return argv, trace, metrics
+
+    def test_profile_emits_valid_trace_and_metrics(self, capsys, tmp_path):
+        import json
+
+        from repro.obs.schema import validate_file
+
+        argv, trace, metrics = self._profile(tmp_path)
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "profile (1 kernels" in out
+        assert "pipeline stages" in out and "oracle" in out
+        assert validate_file("trace", trace) == []
+        assert validate_file("metrics", metrics) == []
+        doc = json.load(open(trace, encoding="utf-8"))
+        events = doc["traceEvents"]
+        stage_spans = {e["name"] for e in events
+                       if e["ph"] == "X" and e.get("cat") == "stage"}
+        assert {"trace", "cache_sim", "oracle", "predict"} <= stage_spans
+        tracks = {e["name"] for e in events if e["ph"] == "C"}
+        assert any("occupancy" in t for t in tracks)
+        assert any("activity" in t for t in tracks)
+        payload = json.load(open(metrics, encoding="utf-8"))
+        counters = {c["name"] for c in payload["counters"]}
+        assert "pipeline.stage_executions" in counters
+        assert "oracle.core_mshr_stall_cycles" in counters
+
+    def test_profile_parallel_matches_serial_counters(self, capsys,
+                                                      tmp_path):
+        import json
+
+        serial_argv, _, serial_metrics = self._profile(
+            tmp_path / "serial", "--suite-kernel", "strided_deg8")
+        parallel_argv, _, parallel_metrics = self._profile(
+            tmp_path / "parallel", "--suite-kernel", "strided_deg8",
+            "--jobs", "2")
+        (tmp_path / "serial").mkdir()
+        (tmp_path / "parallel").mkdir()
+        assert main(serial_argv) == 0
+        assert main(parallel_argv) == 0
+        capsys.readouterr()
+
+        def stage_runs(path):
+            payload = json.load(open(path, encoding="utf-8"))
+            return {
+                tuple(sorted(c["labels"].items())): c["value"]
+                for c in payload["counters"]
+                if c["name"] == "pipeline.stage_executions"
+            }
+
+        assert stage_runs(parallel_metrics) == stage_runs(serial_metrics)
+
+    def test_profile_rejects_unknown_kernel(self, capsys, tmp_path):
+        argv, _, _ = self._profile(tmp_path, "--suite-kernel", "nope")
+        assert main(argv) == 2
+
+    def test_profile_defaults_trace_out(self, capsys, tmp_path,
+                                        monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["profile", "--suite-kernel", "vectoradd",
+                     "--scale", "tiny", "--warps", "4", "-q"]) == 0
+        assert (tmp_path / "repro-trace.json").exists()
