@@ -58,6 +58,12 @@ class KernelCharacterization:
     static_branches: int = 0
     lint_errors: int = 0
     lint_warnings: int = 0
+    # Static cost model (populated when the Kernel is supplied).
+    static_loops: int = 0
+    static_exact_loops: int = 0
+    static_divergent_branches: int = 0
+    static_access_classes: Dict[str, int] = field(default_factory=dict)
+    static_cpi_lower_bound: float = 0.0
 
     @property
     def is_memory_divergent(self) -> bool:
@@ -130,8 +136,15 @@ def characterize(
     }
     static_insts = static_blocks = static_branches = 0
     lint_errors = lint_warnings = 0
+    static_loops = static_exact_loops = static_divergent_branches = 0
+    static_access_classes: Dict[str, int] = {}
+    static_cpi_lower_bound = 0.0
     if kernel is not None:
-        from repro.staticcheck import ControlFlowGraph, lint_kernel
+        from repro.staticcheck import (
+            ControlFlowGraph,
+            analyze_kernel,
+            lint_kernel,
+        )
 
         cfg = ControlFlowGraph(kernel.program)
         static_insts = len(kernel.program)
@@ -142,6 +155,15 @@ def characterize(
         report = lint_kernel(kernel)
         lint_errors = len(report.errors)
         lint_warnings = len(report.warnings)
+        cost = analyze_kernel(kernel)
+        static_loops = len(cost.loops)
+        static_exact_loops = len(cost.exact_loops)
+        static_divergent_branches = len(cost.divergent_branches)
+        for access in cost.accesses:
+            static_access_classes[access.label] = (
+                static_access_classes.get(access.label, 0) + 1
+            )
+        static_cpi_lower_bound = cost.cpi_lower_bound
     return KernelCharacterization(
         kernel_name=trace.kernel_name,
         n_warps=trace.n_warps,
@@ -169,6 +191,11 @@ def characterize(
         static_branches=static_branches,
         lint_errors=lint_errors,
         lint_warnings=lint_warnings,
+        static_loops=static_loops,
+        static_exact_loops=static_exact_loops,
+        static_divergent_branches=static_divergent_branches,
+        static_access_classes=static_access_classes,
+        static_cpi_lower_bound=static_cpi_lower_bound,
     )
 
 
@@ -185,6 +212,17 @@ def render_characterization(char: KernelCharacterization) -> str:
             "  static: %d insts in %d basic blocks, %d branches; lint %s"
             % (char.static_insts, char.static_blocks, char.static_branches,
                lint)
+        )
+        classes = ", ".join(
+            "%s×%d" % (label, count)
+            for label, count in sorted(char.static_access_classes.items())
+        )
+        static_line += (
+            "\n  cost model: %d loop(s) (%d exact), %d divergent "
+            "branch(es), accesses [%s], cpi >= %.3f"
+            % (char.static_loops, char.static_exact_loops,
+               char.static_divergent_branches, classes or "none",
+               char.static_cpi_lower_bound)
         )
     lines = [
         "kernel %s: %d warps in %d blocks, %d dynamic instructions"

@@ -16,7 +16,12 @@ Subcommands
     Behavioural metrics of a kernel ('all' for the whole suite).
 ``lint``
     Statically verify kernels (CFG + dataflow checks); nonzero exit on
-    any error-severity diagnostic.
+    any error-severity diagnostic.  ``--cost`` appends each kernel's
+    static cost model to the report.
+``analyze``
+    Static cost analysis (trip counts, coalescing classes, occupancy,
+    CPI bounds) plus the xcheck sanitizer comparing the dynamic trace
+    against the static facts; nonzero exit on any xcheck mismatch.
 ``profile``
     Evaluate kernels with tracing, metrics and oracle timeline sampling
     on; writes a Chrome-trace/Perfetto file and prints stage timings.
@@ -201,7 +206,10 @@ def _cmd_experiment(args) -> int:
 
 
 def _cmd_lint(args) -> int:
+    import json
+
     from repro.staticcheck import (
+        analyze_kernel,
         lint_kernel,
         render_reports,
         reports_to_json,
@@ -213,16 +221,85 @@ def _cmd_lint(args) -> int:
     else:
         names = [args.kernel]
     reports = []
+    costs = []
     for name in names:
         kernel, _ = get_kernel(name, scale)
         reports.append(lint_kernel(kernel))
+        if args.cost:
+            costs.append(analyze_kernel(kernel))
     if args.format == "json":
         # Machine-readable output bypasses the logging layer: it must
         # stay on stdout verbatim, regardless of -q/-v.
-        print(reports_to_json(reports))
+        if args.cost:
+            payload = json.loads(reports_to_json(reports))
+            for entry, cost in zip(payload["kernels"], costs):
+                entry["cost"] = cost.to_dict()
+            print(json.dumps(payload, indent=2))
+        else:
+            print(reports_to_json(reports))
     else:
         emit(render_reports(reports))
+        for cost in costs:
+            emit(cost.render_text())
     return 1 if any(r.has_errors for r in reports) else 0
+
+
+def _cmd_analyze(args) -> int:
+    import json
+
+    from repro.pipeline import Pipeline
+
+    scale = _SCALES[args.scale]()
+    if args.suite or args.kernel in (None, "all"):
+        names = kernel_names()
+    else:
+        names = [args.kernel]
+    unknown = [n for n in names if n not in SUITE]
+    if unknown:
+        _LOG.error("unknown kernel(s): %s", ", ".join(unknown))
+        return 2
+    pipeline = Pipeline(
+        GPUConfig(),
+        scale=scale,
+        cache_dir=args.cache_dir,
+        tracer=getattr(args, "obs_tracer", None),
+        metrics=getattr(args, "obs_metrics", None),
+    )
+    entries = []
+    n_errors = 0
+    for name in names:
+        cost = pipeline.analyze(name)
+        report = None
+        if not args.static_only:
+            report = pipeline.crosscheck(name)
+            n_errors += len(report.errors)
+        entries.append((name, cost, report))
+    if args.format == "json":
+        # Machine-readable output bypasses the logging layer (see lint).
+        payload = {
+            "kernels": [
+                {
+                    "kernel": name,
+                    "cost": cost.to_dict(),
+                    "xcheck": None if report is None else report.to_dict(),
+                }
+                for name, cost, report in entries
+            ],
+            "n_kernels": len(entries),
+            "n_xcheck_errors": n_errors,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for name, cost, report in entries:
+            emit(cost.render_text())
+            if report is not None:
+                emit("xcheck %s" % report.render_text())
+        if args.static_only:
+            emit("%d kernel(s) analyzed (static only)" % len(entries))
+        else:
+            emit("%d kernel(s): %d xcheck error(s)"
+                 % (len(entries), n_errors))
+    return 1 if n_errors else 0
 
 
 def _cmd_characterize(args) -> int:
@@ -348,7 +425,29 @@ def build_parser() -> argparse.ArgumentParser:
                       help="diagnostic output format")
     lint.add_argument("--scale", choices=sorted(_SCALES), default="small",
                       help="workload scale preset")
+    lint.add_argument("--cost", action="store_true",
+                      help="append each kernel's static cost model")
     _add_obs_args(lint)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="static cost analysis + dynamic/static cross-validation",
+    )
+    analyze.add_argument("kernel", nargs="?", default=None,
+                         help="kernel name ('all' for the whole suite)")
+    analyze.add_argument("--suite", action="store_true",
+                         help="analyze every workload-suite kernel")
+    analyze.add_argument("--format", choices=("text", "json"),
+                         default="text", help="report output format")
+    analyze.add_argument("--scale", choices=sorted(_SCALES),
+                         default="small", help="workload scale preset")
+    analyze.add_argument("--static-only", action="store_true",
+                         help="skip emulation and the xcheck stage "
+                         "(pure static analysis)")
+    analyze.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="persistent content-addressed artifact "
+                         "store; reruns skip every already-computed stage")
+    _add_obs_args(analyze)
 
     profile = sub.add_parser(
         "profile",
@@ -391,6 +490,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "characterize": _cmd_characterize,
         "lint": _cmd_lint,
+        "analyze": _cmd_analyze,
         "profile": _cmd_profile,
     }
     try:

@@ -49,11 +49,13 @@ from repro.obs.tracer import Tracer, get_tracer
 from repro.pipeline.stages import (
     compute_cache_sim,
     compute_clustering,
+    compute_costmodel,
     compute_latency_table,
     compute_lint,
     compute_oracle,
     compute_profiles,
     compute_trace,
+    compute_xcheck,
     stage_key,
     trace_digest,
 )
@@ -237,6 +239,57 @@ class Pipeline:
         if report.has_errors:
             raise StaticCheckError(report)
         return report
+
+    def analyze(self, kernel_name: str, config: Optional[GPUConfig] = None):
+        """The (cached) static cost model of a suite kernel.
+
+        Pure static analysis — no emulation: abstract interpretation
+        over the kernel's CFG yields loop trip counts, memory-access
+        coalescing classes, divergence regions, occupancy and CPI
+        bounds (:class:`~repro.staticcheck.costmodel.KernelCostModel`).
+        """
+        config = self._effective_config(config)
+        key = stage_key(
+            "costmodel", config, kernel_name, self._scale_part()
+        )
+        return self._execute(
+            "costmodel",
+            key,
+            lambda: compute_costmodel(kernel_name, self.scale, config),
+        )
+
+    def crosscheck(
+        self, kernel_name: str, config: Optional[GPUConfig] = None
+    ):
+        """Cross-validate a suite kernel's dynamic trace against its
+        static cost model (the xcheck sanitizer stage).
+
+        Returns the resulting :class:`~repro.staticcheck.LintReport`;
+        every error counts into the ``xcheck.mismatches`` metric so
+        sweeps surface collector drift without parsing reports.
+        """
+        config = self._effective_config(config)
+        cost = self.analyze(kernel_name, config)
+        trace = self.trace(kernel_name, config)
+        cost_key = stage_key(
+            "costmodel", config, kernel_name, self._scale_part()
+        )
+        key = stage_key(
+            "xcheck", config, self.trace_key(kernel_name, config), cost_key
+        )
+
+        def compute():
+            report = compute_xcheck(
+                kernel_name, self.scale, trace, cost, config
+            )
+            self.metrics.counter("xcheck.runs").inc()
+            if report.errors:
+                self.metrics.counter("xcheck.mismatches").inc(
+                    len(report.errors)
+                )
+            return report
+
+        return self._execute("xcheck", key, compute)
 
     def trace(self, kernel_name: str, config: Optional[GPUConfig] = None):
         """The (cached) functional trace of a suite kernel.

@@ -8,6 +8,8 @@ which artifacts a configuration override invalidates:
 ====================  =====================================================
 ``lint``              static kernel verification (no config dependence)
 ``trace``             functional emulation (config: trace fields only)
+``costmodel``         static cost model (warp/line geometry + cost params)
+``xcheck``            dynamic-vs-static cross-validation (trace fields)
 ``cache_sim``         functional cache replay (cache geometry + residency)
 ``latency_table``     per-PC AMAT (latency parameters)
 ``interval_profiles`` per-warp Eq. 4 scan (issue bandwidth)
@@ -65,6 +67,22 @@ LATENCY_FIELDS: FrozenSet[str] = frozenset(
 #: Interval-profile config dependencies (issue bandwidth only).
 PROFILE_FIELDS: FrozenSet[str] = frozenset({"issue_width"})
 
+#: Static cost-model config dependencies: warp/line geometry for the
+#: access classifier, residency limits for occupancy, issue width and
+#: DRAM service rate for the CPI lower bound.
+COSTMODEL_FIELDS: FrozenSet[str] = frozenset(
+    {
+        "warp_size",
+        "line_size",
+        "smem_banks",
+        "issue_width",
+        "n_cores",
+        "max_threads_per_core",
+        "dram_bandwidth_gbps",
+        "core_clock_ghz",
+    }
+)
+
 
 @dataclass(frozen=True)
 class StageSpec:
@@ -94,6 +112,18 @@ STAGES = {
             inputs=(),
             config_fields=TRACE_FIELDS,
             description="functional SIMT emulation (machine-independent)",
+        ),
+        StageSpec(
+            "costmodel",
+            inputs=(),
+            config_fields=COSTMODEL_FIELDS,
+            description="static cost model (abstract interpretation)",
+        ),
+        StageSpec(
+            "xcheck",
+            inputs=("trace", "costmodel"),
+            config_fields=TRACE_FIELDS,
+            description="cross-validation of dynamic trace vs static facts",
         ),
         StageSpec(
             "cache_sim",
@@ -189,6 +219,24 @@ def compute_lint(kernel_name: str, scale):
 
     kernel, _ = SUITE[kernel_name].build(scale)
     return lint_kernel(kernel)
+
+
+def compute_costmodel(kernel_name: str, scale, config: GPUConfig):
+    """Build a suite kernel at ``scale`` and statically cost it."""
+    from repro.staticcheck import analyze_kernel
+    from repro.workloads.suite import SUITE  # deferred: suite is heavy
+
+    kernel, _ = SUITE[kernel_name].build(scale)
+    return analyze_kernel(kernel, config)
+
+
+def compute_xcheck(kernel_name: str, scale, trace, cost, config: GPUConfig):
+    """Cross-validate a suite kernel's trace against its cost model."""
+    from repro.staticcheck import crosscheck_kernel
+    from repro.workloads.suite import SUITE  # deferred: suite is heavy
+
+    kernel, _ = SUITE[kernel_name].build(scale)
+    return crosscheck_kernel(kernel, trace, cost=cost, config=config)
 
 
 def compute_cache_sim(trace, config, warps_per_core: Optional[int]):

@@ -13,9 +13,16 @@ Layers
   reaching-definitions, liveness and divergence-taint instances;
 * :mod:`repro.staticcheck.checks` — the six checks and the
   :func:`lint_kernel` / :func:`lint_program` entry points;
+* :mod:`repro.staticcheck.costmodel` — abstract interpretation on top of
+  the same CFG/dataflow layers: induction variables, loop trip counts,
+  memory-access coalescing classes, bank conflicts, divergence regions,
+  occupancy and CPI bounds (:func:`analyze_kernel`);
+* :mod:`repro.staticcheck.xcheck` — the cross-validation sanitizer
+  pinning dynamic trace artifacts to the statically-proven facts
+  (:func:`crosscheck_kernel`);
 * :mod:`repro.staticcheck.report` — structured
   :class:`Diagnostic`/:class:`LintReport` records with text and JSON
-  rendering.
+  rendering (both directions).
 """
 
 from repro.staticcheck.cfg import (
@@ -24,26 +31,38 @@ from repro.staticcheck.cfg import (
     reconvergence_errors,
 )
 from repro.staticcheck.checks import CHECKS, lint_kernel, lint_program
+from repro.staticcheck.costmodel import (
+    KernelCostModel,
+    analyze_kernel,
+    analyze_program,
+)
 from repro.staticcheck.report import (
     Diagnostic,
     LintReport,
     Severity,
     StaticCheckError,
     render_reports,
+    reports_from_json,
     reports_to_json,
 )
+from repro.staticcheck.xcheck import crosscheck_kernel
 
 __all__ = [
     "BasicBlock",
     "CHECKS",
     "ControlFlowGraph",
     "Diagnostic",
+    "KernelCostModel",
     "LintReport",
     "Severity",
     "StaticCheckError",
+    "analyze_kernel",
+    "analyze_program",
+    "crosscheck_kernel",
     "lint_kernel",
     "lint_program",
     "reconvergence_errors",
     "render_reports",
+    "reports_from_json",
     "reports_to_json",
 ]

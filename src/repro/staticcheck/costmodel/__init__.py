@@ -1,0 +1,61 @@
+"""Static cost model: abstract interpretation over kernel CFGs.
+
+Built on the CFG and worklist-dataflow layers of ``repro.staticcheck``,
+this package derives — per kernel, in milliseconds, without running the
+emulator — the quantities the dynamic pipeline later measures:
+
+* :mod:`~repro.staticcheck.costmodel.affine` — the value-range domain:
+  affine expressions over thread-identity symbols (``tid``, ``lane``,
+  ``warp``, ``ctaid``, ``ntid``) and per-loop iteration symbols, plus
+  the widening abstract interpreter that solves induction variables;
+* :mod:`~repro.staticcheck.costmodel.loops` — natural-loop detection
+  and trip-count inference (exact closed forms for affine latch
+  predicates, bounded intervals otherwise);
+* :mod:`~repro.staticcheck.costmodel.access` — the memory-access
+  classifier: per-PC coalescing class (fully-coalesced / strided-k /
+  divergent-random), predicted transactions-per-access and shared-memory
+  bank-conflict degree;
+* :mod:`~repro.staticcheck.costmodel.estimator` — branch-divergence
+  classification, per-PC execution-count intervals, static occupancy,
+  the CPI lower bound and the interval-profile skeleton, all collected
+  into one :class:`KernelCostModel` artifact.
+
+The cross-validation sanitizer that pins dynamic traces to these facts
+lives one level up, in :mod:`repro.staticcheck.xcheck`.
+"""
+
+from repro.staticcheck.costmodel.affine import (
+    Affine,
+    Interval,
+    affine_environments,
+)
+from repro.staticcheck.costmodel.access import (
+    AccessClass,
+    MemoryAccess,
+    classify_accesses,
+)
+from repro.staticcheck.costmodel.estimator import (
+    BranchSummary,
+    KernelCostModel,
+    SkeletonEntry,
+    analyze_kernel,
+    analyze_program,
+)
+from repro.staticcheck.costmodel.loops import Loop, find_loops, infer_trip_counts
+
+__all__ = [
+    "AccessClass",
+    "Affine",
+    "BranchSummary",
+    "Interval",
+    "KernelCostModel",
+    "Loop",
+    "MemoryAccess",
+    "SkeletonEntry",
+    "affine_environments",
+    "analyze_kernel",
+    "analyze_program",
+    "classify_accesses",
+    "find_loops",
+    "infer_trip_counts",
+]

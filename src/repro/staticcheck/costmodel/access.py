@@ -1,0 +1,255 @@
+"""Affine memory-access classifier: coalescing and bank-conflict predictions.
+
+For every reachable memory instruction the classifier derives the
+per-lane byte address as an affine expression (address operand's affine
+value plus the instruction's byte offset) and splits it into
+
+* a **lane stride** ``s`` — the tid/lane coefficient, the byte distance
+  between neighbouring lanes of a warp, and
+* a **phase** — everything else: the constant, and warp/block/iteration
+  contributions that are uniform across one warp's lanes.
+
+When every uniform contribution is provably ``≡ 0 (mod line_size)`` the
+phase is statically known and the transaction count is *exact*: the
+model enumerates the warp's lanes the same way the dynamic coalescer
+does (distinct ``addr // line_size`` values).  Otherwise it brute-forces
+all ``line_size`` phases for a sound ``[lo, hi]`` interval.  Shared-
+memory accesses get the analogous bank-conflict degree, mirroring
+``repro.trace`` bank arithmetic (distinct words per bank, modulo the
+bank count).
+
+The access *class* is the GPUMech-facing summary: ``coalesced`` when the
+lanes fit the minimal number of lines a warp can touch (broadcast or
+unit word stride), ``strided-k`` when the affine stride spreads the warp
+over ``k`` lines, and ``divergent-random`` when the address is not
+affine at all (indices loaded from memory, ``imod``-scrambled layouts).
+
+Addresses are assumed non-negative, which the workload layouts guarantee
+(array bases are large positive multiples of the line size).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.config import GPUConfig
+from repro.staticcheck.cfg import ControlFlowGraph
+from repro.staticcheck.costmodel.affine import (
+    Affine,
+    Environment,
+    Interval,
+    _operand_value,
+)
+
+#: Bytes per data word (all ISA accesses are one word wide).
+WORD = 4
+
+#: Per-lane symbols: their coefficients scale with the lane index.
+_LANE_SYMBOLS = ("tid", "lane")
+
+
+class AccessClass(enum.Enum):
+    """Static coalescing class of one memory instruction."""
+
+    COALESCED = "coalesced"
+    STRIDED = "strided"
+    DIVERGENT = "divergent-random"
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """Static facts about one memory instruction.
+
+    ``transactions`` predicts the coalescer's distinct-line count for a
+    *full* warp (exact when ``phase_known``); ``bank_conflict`` is the
+    analogous shared-memory conflict degree, ``None`` for global space.
+    """
+
+    pc: int
+    opcode: str
+    space: str  # "global" | "shared"
+    is_store: bool
+    affine: Optional[Affine]
+    lane_stride: Optional[int]
+    access_class: AccessClass
+    transactions: Interval
+    phase_known: bool
+    bank_conflict: Optional[Interval] = None
+    under_divergent_control: bool = False
+
+    @property
+    def label(self) -> str:
+        """Human-facing class label, e.g. ``strided-8``."""
+        if self.access_class is AccessClass.STRIDED:
+            return "strided-%d" % (self.transactions.hi or 0)
+        return self.access_class.value
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "pc": self.pc,
+            "opcode": self.opcode,
+            "space": self.space,
+            "is_store": self.is_store,
+            "address": None if self.affine is None else self.affine.render(),
+            "lane_stride": self.lane_stride,
+            "class": self.label,
+            "transactions": self.transactions.to_dict(),
+            "phase_known": self.phase_known,
+            "bank_conflict": (
+                None if self.bank_conflict is None
+                else self.bank_conflict.to_dict()
+            ),
+            "under_divergent_control": self.under_divergent_control,
+        }
+
+
+def _lane_address_split(affine: Affine):
+    """Split an address affine into (lane stride, phase const, uniform
+    coeffs).  ``tid`` contributes both a per-lane term (coefficient) and
+    a per-warp term (``c_tid · warp_size`` per warp), returned among the
+    uniform contributions by the caller's modular check."""
+    stride = sum(affine.coeff(sym) for sym in _LANE_SYMBOLS)
+    uniform = [
+        (name, coeff) for name, coeff in affine.coeffs
+        if name not in _LANE_SYMBOLS
+    ]
+    return stride, affine.const, uniform
+
+
+def _phase_known(affine: Affine, modulus: int, warp_size: int) -> bool:
+    """Whether the warp-uniform part of the address is known mod ``modulus``.
+
+    True when every uniform symbol's coefficient — including ``tid``'s
+    per-warp contribution ``c_tid · warp_size`` — is ``≡ 0`` mod the
+    modulus, leaving only the statically-known constant.
+    """
+    stride, _, uniform = _lane_address_split(affine)
+    del stride
+    if (affine.coeff("tid") * warp_size) % modulus != 0:
+        return False
+    return all(coeff % modulus == 0 for _, coeff in uniform)
+
+
+def _lines_for_phase(phase: int, stride: int, warp_size: int,
+                     line_size: int) -> int:
+    """Distinct lines touched by a full warp: the coalescer's count."""
+    return len({(phase + stride * lane) // line_size
+                for lane in range(warp_size)})
+
+
+def _transactions(affine: Optional[Affine], warp_size: int,
+                  line_size: int) -> Tuple[Interval, bool]:
+    if affine is None:
+        return Interval(1, warp_size), False
+    stride = sum(affine.coeff(sym) for sym in _LANE_SYMBOLS)
+    if _phase_known(affine, line_size, warp_size):
+        phase = affine.const % line_size
+        return Interval.exact(
+            _lines_for_phase(phase, stride, warp_size, line_size)
+        ), True
+    counts = [
+        _lines_for_phase(phase, stride, warp_size, line_size)
+        for phase in range(line_size)
+    ]
+    return Interval(min(counts), max(counts)), False
+
+
+def _conflict_for_phase(phase: int, stride: int, warp_size: int,
+                        n_banks: int) -> int:
+    """Static mirror of ``repro.trace`` bank arithmetic: distinct words,
+    bucketed by bank; degree is the fullest bucket (a broadcast word
+    counts once)."""
+    words = {(phase + stride * lane) // WORD for lane in range(warp_size)}
+    buckets: Dict[int, int] = {}
+    for word in words:
+        bank = word % n_banks
+        buckets[bank] = buckets.get(bank, 0) + 1
+    return max(buckets.values())
+
+
+def _bank_conflict(affine: Optional[Affine], warp_size: int,
+                   n_banks: int) -> Tuple[Interval, bool]:
+    if affine is None:
+        return Interval(1, warp_size), False
+    modulus = WORD * n_banks
+    stride = sum(affine.coeff(sym) for sym in _LANE_SYMBOLS)
+    if _phase_known(affine, modulus, warp_size):
+        phase = affine.const % modulus
+        return Interval.exact(
+            _conflict_for_phase(phase, stride, warp_size, n_banks)
+        ), True
+    degrees = [
+        _conflict_for_phase(phase, stride, warp_size, n_banks)
+        for phase in range(modulus)
+    ]
+    return Interval(min(degrees), max(degrees)), False
+
+
+def _classify(affine: Optional[Affine], stride: Optional[int],
+              transactions: Interval) -> AccessClass:
+    if affine is None:
+        return AccessClass.DIVERGENT
+    if abs(stride) <= WORD:
+        # Broadcast (0) or word-unit stride: the warp touches the
+        # minimal line count its footprint allows (1, or 2 straddling).
+        return AccessClass.COALESCED
+    return AccessClass.STRIDED
+
+
+def classify_accesses(
+    cfg: ControlFlowGraph,
+    envs: Sequence[Optional[Environment]],
+    config: GPUConfig,
+    masked_pcs: FrozenSet[int] = frozenset(),
+) -> List[MemoryAccess]:
+    """Classify every reachable memory instruction of ``cfg``.
+
+    ``envs`` is the affine solution; ``masked_pcs`` marks PCs under
+    divergent control (partial masks possible), which the cross-checker
+    uses to decide when the transaction prediction must hold exactly.
+    """
+    accesses: List[MemoryAccess] = []
+    for pc in sorted(cfg.reachable):
+        inst = cfg.program[pc]
+        opclass = inst.opclass
+        if not (opclass.is_memory or opclass.is_shared_memory):
+            continue
+        env = envs[pc]
+        affine: Optional[Affine] = None
+        if env is not None:
+            value = _operand_value(inst.srcs[0], env)
+            if value is not None:
+                affine = value + Affine.constant(inst.offset)
+        stride = None
+        if affine is not None:
+            stride = sum(affine.coeff(sym) for sym in _LANE_SYMBOLS)
+
+        if opclass.is_shared_memory:
+            conflict, known = _bank_conflict(
+                affine, config.warp_size, config.smem_banks
+            )
+            transactions = Interval.exact(1)  # scratchpad: no line traffic
+            space = "shared"
+        else:
+            transactions, known = _transactions(
+                affine, config.warp_size, config.line_size
+            )
+            conflict = None
+            space = "global"
+
+        accesses.append(MemoryAccess(
+            pc=pc,
+            opcode=inst.opcode,
+            space=space,
+            is_store=opclass.name in ("STORE", "SMEM_STORE"),
+            affine=affine,
+            lane_stride=stride,
+            access_class=_classify(affine, stride, transactions),
+            transactions=transactions,
+            phase_known=known,
+            bank_conflict=conflict,
+            under_divergent_control=pc in masked_pcs,
+        ))
+    return accesses

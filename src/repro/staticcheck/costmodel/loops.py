@@ -1,0 +1,224 @@
+"""Natural-loop detection and trip-count inference.
+
+Loops are found the classical way: a back edge is a CFG edge ``u → h``
+where ``h`` dominates ``u`` (dominators come from the CFG layer's
+Cooper–Harvey–Kennedy solver); the natural loop of ``h`` is ``h`` plus
+every node that reaches a latch backwards without passing through ``h``.
+
+Trip counts are closed forms over the affine domain.  The builder emits
+do-while loops — a conditional backward branch at the latch re-enters
+the head while its predicate holds — so for a single-latch loop whose
+predicate is defined by one ``setp a, b`` the latch decision at body
+iteration ``j`` is a comparison of ``d(j) = a − b``, an affine in the
+loop's iteration symbol.  When ``d(j) = c0 + c1·j`` with constant
+coefficients the first failing ``j`` is exact arithmetic and the trip
+count is ``Interval.exact(j_fail + 1)``; anything non-affine (data-
+dependent bounds loaded from memory, multi-latch loops, unconditional
+latches) degrades soundly to ``[1, ∞)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, FrozenSet, List, Optional, Sequence
+
+from repro.isa.instructions import OpClass
+from repro.staticcheck.cfg import ControlFlowGraph
+from repro.staticcheck.costmodel.affine import (
+    Affine,
+    Environment,
+    Interval,
+    _operand_value,
+    iter_symbol,
+)
+from repro.staticcheck.dataflow import (
+    DivergenceSources,
+    ReachingDefinitions,
+    may_diverge,
+    register_tags,
+    solve,
+)
+
+
+@dataclass(frozen=True)
+class Loop:
+    """One natural loop: head, latch set, body, and inferred trip count.
+
+    ``trip`` counts *body executions per loop entry* (equivalently latch
+    executions, since these are do-while loops): it is at least 1.
+    ``divergent`` marks loops whose latch predicate carries per-thread
+    taint — lanes of one warp may run different iteration counts.
+    """
+
+    head: int
+    latches: FrozenSet[int]
+    body: FrozenSet[int]
+    trip: Interval = Interval(1, None)
+    divergent: bool = False
+
+    @property
+    def iter_symbol(self) -> str:
+        return iter_symbol(self.head)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "head": self.head,
+            "latches": sorted(self.latches),
+            "body": sorted(self.body),
+            "trip": self.trip.to_dict(),
+            "exact": self.trip.is_exact,
+            "divergent": self.divergent,
+        }
+
+
+def _dominates(idom: Dict[int, Optional[int]], a: int, b: int) -> bool:
+    """Whether ``a`` dominates ``b`` (reflexively)."""
+    node: Optional[int] = b
+    while node is not None:
+        if node == a:
+            return True
+        node = idom.get(node)
+    return False
+
+
+def find_loops(cfg: ControlFlowGraph) -> List[Loop]:
+    """All natural loops of ``cfg``, sorted by head PC.
+
+    Back edges targeting the same head are merged into one loop with
+    several latches, matching the usual natural-loop definition.
+    """
+    idom = cfg.immediate_dominators()
+    preds: Dict[int, List[int]] = {}
+    back_edges: Dict[int, List[int]] = {}  # head -> latches
+    for pc in cfg.reachable:
+        for succ in cfg.succs[pc]:
+            preds.setdefault(succ, []).append(pc)
+            if _dominates(idom, succ, pc):
+                back_edges.setdefault(succ, []).append(pc)
+
+    loops: List[Loop] = []
+    for head in sorted(back_edges):
+        latches = back_edges[head]
+        body = {head}
+        stack = [latch for latch in latches if latch != head]
+        while stack:
+            node = stack.pop()
+            if node in body:
+                continue
+            body.add(node)
+            stack.extend(p for p in preds.get(node, ()) if p not in body)
+        loops.append(Loop(
+            head=head,
+            latches=frozenset(latches),
+            body=frozenset(body),
+        ))
+    return loops
+
+
+def _ceil_div(a: int, b: int) -> int:
+    """Ceiling division for positive ``b``."""
+    return -((-a) // b)
+
+
+def _trip_from_linear(c0: int, c1: int, cmp_name: str) -> Interval:
+    """First-failure arithmetic for continue-condition ``cmp(d(j), 0)``
+    with ``d(j) = c0 + c1·j``; returns the trip-count interval."""
+    unbounded = Interval(1, None)
+    if cmp_name == "gt":  # d > 0  <=>  -d < 0
+        return _trip_from_linear(-c0, -c1, "lt")
+    if cmp_name == "ge":  # d >= 0  <=>  -d <= 0
+        return _trip_from_linear(-c0, -c1, "le")
+    if cmp_name == "lt":  # continue while d < 0; fails when d >= 0
+        if c1 == 0:
+            return unbounded if c0 < 0 else Interval.exact(1)
+        if c1 < 0:
+            return Interval.exact(1) if c0 >= 0 else unbounded
+        return Interval.exact(max(0, _ceil_div(-c0, c1)) + 1)
+    if cmp_name == "le":  # continue while d <= 0; fails when d >= 1
+        if c1 == 0:
+            return unbounded if c0 <= 0 else Interval.exact(1)
+        if c1 < 0:
+            return Interval.exact(1) if c0 >= 1 else unbounded
+        return Interval.exact(max(0, _ceil_div(1 - c0, c1)) + 1)
+    if cmp_name == "eq":  # continue while d == 0
+        if c1 == 0:
+            return unbounded if c0 == 0 else Interval.exact(1)
+        return Interval.exact(2 if c0 == 0 else 1)
+    if cmp_name == "ne":  # continue while d != 0; fails when d == 0
+        if c1 == 0:
+            return Interval.exact(1) if c0 == 0 else unbounded
+        if c0 % c1 == 0 and -c0 // c1 >= 0:
+            return Interval.exact(-c0 // c1 + 1)
+        return unbounded
+    return unbounded
+
+
+def infer_trip_counts(
+    cfg: ControlFlowGraph,
+    loops: Sequence[Loop],
+    envs: Sequence[Optional[Environment]],
+    substitutions: Optional[Dict[str, int]] = None,
+) -> List[Loop]:
+    """Fill in ``trip`` and ``divergent`` for every loop.
+
+    ``envs`` is the affine solution from :func:`affine_environments`;
+    ``substitutions`` maps launch-geometry symbols whose value *is*
+    statically known at analysis time (e.g. ``ntid`` → block size) to
+    their concrete values, widening the set of loops with exact trips.
+    """
+    program = cfg.program
+    substitutions = substitutions or {}
+    rdef_in, _ = solve(cfg, ReachingDefinitions())
+    div_in, _ = solve(cfg, DivergenceSources())
+
+    resolved: List[Loop] = []
+    for loop in loops:
+        resolved.append(_infer_one(
+            program, loop, envs, rdef_in, div_in, substitutions
+        ))
+    return resolved
+
+
+def _infer_one(program, loop, envs, rdef_in, div_in, substitutions) -> Loop:
+    unbounded = Interval(1, None)
+    if len(loop.latches) != 1:
+        return replace(loop, trip=unbounded)
+    latch = next(iter(loop.latches))
+    inst = program[latch]
+    if (inst.opclass is not OpClass.BRANCH or inst.target != loop.head
+            or inst.pred is None):
+        return replace(loop, trip=unbounded)
+
+    divergent = may_diverge(
+        register_tags(div_in.get(latch, frozenset()), inst.pred)
+    )
+
+    # The latch predicate must come from exactly one setp inside the body.
+    defs = {d for r, d in rdef_in.get(latch, frozenset())
+            if r == inst.pred.index}
+    if len(defs) != 1:
+        return replace(loop, trip=unbounded, divergent=divergent)
+    def_pc = next(iter(defs))
+    if def_pc < 0 or program[def_pc].opcode != "setp":
+        return replace(loop, trip=unbounded, divergent=divergent)
+    setp = program[def_pc]
+    env = envs[def_pc] if def_pc < len(envs) else None
+    if env is None:
+        return replace(loop, trip=unbounded, divergent=divergent)
+
+    a = _operand_value(setp.srcs[0], env)
+    b = _operand_value(setp.srcs[1], env)
+    if a is None or b is None:
+        return replace(loop, trip=unbounded, divergent=divergent)
+    d = a - b
+    for symbol, value in substitutions.items():
+        d = d.substitute(symbol, Affine.constant(value))
+
+    sym = loop.iter_symbol
+    c1 = d.coeff(sym)
+    rest = d + Affine.symbol(sym, -c1)
+    if not rest.is_constant:
+        # Trip depends on thread identity or an enclosing loop's counter.
+        return replace(loop, trip=unbounded, divergent=divergent)
+    trip = _trip_from_linear(rest.const, c1, setp.cmp_op.value)
+    return replace(loop, trip=trip, divergent=divergent)

@@ -65,19 +65,36 @@ def solve(
     roles are mirrored (``in_facts`` is the pre-state in execution
     order, i.e. the transfer output).  Only entry-reachable PCs are
     solved; unreachable code keeps empty fact sets.
+
+    Degenerate CFGs are handled without special casing by construction:
+
+    * *empty programs* yield empty fact maps (building a
+      :class:`ControlFlowGraph` for one raises, but a defensive guard
+      keeps this function total);
+    * *unreachable blocks* are never transferred, and as join inputs
+      they contribute the empty set — the identity of the may-analysis
+      meet — so their (never-computed) facts cannot leak into reachable
+      code;
+    * *single-block self-loops* converge by plain monotone iteration:
+      the block re-enters the worklist only while its facts still grow;
+    * *backward analyses with no reachable exit* have an empty root set
+      and simply propagate empty boundary facts (nothing is live after
+      an infinite loop).
     """
     program = cfg.program
     n = len(program)
+    if n == 0:
+        return {}, {}
     forward = analysis.direction == "forward"
     if forward:
         edges_in = [tuple(cfg.preds[pc]) for pc in range(n)]
-        roots = [0]
+        roots = frozenset((0,))
     else:
         edges_in = [tuple(cfg.succs[pc]) for pc in range(n)]
-        roots = [
+        roots = frozenset(
             pc for pc, inst in enumerate(program)
             if inst.opclass is OpClass.EXIT
-        ]
+        )
     boundary = analysis.boundary(program)
     reachable = cfg.reachable
     in_facts: Dict[int, FrozenSet] = {pc: frozenset() for pc in range(n)}

@@ -54,6 +54,16 @@ class Diagnostic:
             "message": self.message,
         }
 
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "Diagnostic":
+        """Inverse of :meth:`to_dict`."""
+        return Diagnostic(
+            pc=int(data["pc"]),
+            check_id=data["check_id"],
+            severity=Severity(data["severity"]),
+            message=data["message"],
+        )
+
 
 @dataclass(frozen=True)
 class LintReport:
@@ -105,6 +115,16 @@ class LintReport:
             "diagnostics": [d.to_dict() for d in self.diagnostics],
         }
 
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "LintReport":
+        """Inverse of :meth:`to_dict` (the count fields are derived)."""
+        return LintReport(
+            kernel=data["kernel"],
+            diagnostics=tuple(
+                Diagnostic.from_dict(d) for d in data.get("diagnostics", ())
+            ),
+        )
+
 
 class StaticCheckError(RuntimeError):
     """Raised when a gated consumer (e.g. the pipeline's trace stage)
@@ -140,3 +160,14 @@ def reports_to_json(reports: Sequence[LintReport]) -> str:
         },
         indent=2,
     )
+
+
+def reports_from_json(text: str) -> List[LintReport]:
+    """Parse :func:`reports_to_json` output back into reports.
+
+    Round-trip guarantee: ``reports_from_json(reports_to_json(rs))``
+    compares equal to ``rs`` (reports are frozen dataclasses), which is
+    what lets CI consume and re-emit lint artifacts losslessly.
+    """
+    data = json.loads(text)
+    return [LintReport.from_dict(entry) for entry in data.get("kernels", ())]

@@ -1,0 +1,226 @@
+"""Cross-validation sanitizer: dynamic traces vs static cost-model facts.
+
+The dynamic collectors (functional emulator, SIMT stack, coalescer,
+bank-conflict counter) and the static cost model derive the same
+quantities by entirely independent routes.  Where the static side is
+*proven* — exact trip counts, phase-known transaction counts, CFG
+post-dominator reconvergence — any disagreement means a collector has
+drifted, so it is reported as an error through the standard
+:mod:`repro.staticcheck.report` machinery.  Where the static side only
+bounds a quantity, the dynamic measurement must fall inside the bound.
+
+======================== ====================================================
+check id                 dynamic fact pinned to static fact
+======================== ====================================================
+``xcheck-structure``     every traced PC is reachable in the CFG and its
+                         recorded op class matches the program
+``xcheck-coalescing``    coalescer transactions per access: equal to the
+                         phase-known prediction under a full mask, inside
+                         ``[1, hi]`` otherwise
+``xcheck-trip-count``    latch executions per loop entry (segmented from the
+                         per-warp PC stream) inside the inferred trip
+                         interval — equality when the trip is exact
+``xcheck-divergence``    partial masks only at PCs inside a statically
+                         divergent branch region (this pins the SIMT stack's
+                         reconvergence behaviour to the CFG post-dominators)
+``xcheck-bank-conflict`` recorded shared-memory conflict degree inside the
+                         predicted interval
+======================== ====================================================
+
+Diagnostics aggregate per ``(pc, check)``: one error with an instance
+count, not one per dynamic instruction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.config import GPUConfig
+from repro.isa.kernel import Kernel
+from repro.staticcheck.cfg import ControlFlowGraph
+from repro.staticcheck.costmodel import KernelCostModel, analyze_kernel
+from repro.staticcheck.report import Diagnostic, LintReport, Severity
+from repro.trace.trace_types import KernelTrace, OpCode
+
+
+class _Mismatches:
+    """Aggregates offending instances per (pc, check id)."""
+
+    def __init__(self) -> None:
+        self._hits: Dict[Tuple[int, str], List[str]] = {}
+
+    def add(self, pc: int, check_id: str, detail: str) -> None:
+        self._hits.setdefault((pc, check_id), []).append(detail)
+
+    def diagnostics(self) -> List[Diagnostic]:
+        out = []
+        for (pc, check_id), details in sorted(self._hits.items()):
+            message = details[0]
+            if len(details) > 1:
+                message += " (+%d more instance(s))" % (len(details) - 1)
+            out.append(Diagnostic(pc, check_id, Severity.ERROR, message))
+        return out
+
+
+def _check_structure(kernel, cfg, trace, mismatches) -> None:
+    n = len(kernel.program)
+    op_table = np.array(
+        [OpCode[inst.opclass.name].value for inst in kernel.program],
+        dtype=np.int16,
+    )
+    reachable = np.zeros(n, dtype=bool)
+    reachable[list(cfg.reachable)] = True
+    for warp in trace.warps:
+        pcs = np.asarray(warp.pcs, dtype=np.int64)
+        bad = (pcs < 0) | (pcs >= n)
+        if bad.any():
+            pc = int(pcs[bad][0])
+            mismatches.add(
+                max(0, min(pc, n - 1)), "xcheck-structure",
+                "trace visits pc %d outside the program" % pc,
+            )
+            return
+        off_cfg = ~reachable[pcs]
+        for pc in np.unique(pcs[off_cfg]):
+            mismatches.add(
+                int(pc), "xcheck-structure",
+                "trace visits pc %d, statically unreachable" % int(pc),
+            )
+        wrong = np.asarray(warp.ops, dtype=np.int16) != op_table[pcs]
+        for pc in np.unique(pcs[wrong]):
+            mismatches.add(
+                int(pc), "xcheck-structure",
+                "recorded op class at pc %d disagrees with the program"
+                % int(pc),
+            )
+
+
+def _check_coalescing(cost, trace, config, mismatches) -> None:
+    accesses = {
+        a.pc: a for a in cost.accesses if a.space == "global"
+    }
+    for warp in trace.warps:
+        requests = np.diff(warp.req_offsets)
+        for i, pc in enumerate(warp.pcs):
+            access = accesses.get(int(pc))
+            if access is None:
+                continue
+            measured = int(requests[i])
+            interval = access.transactions
+            hi = config.warp_size if interval.hi is None else interval.hi
+            full = int(warp.active[i]) == config.warp_size
+            if (full and access.phase_known
+                    and not access.under_divergent_control):
+                if not interval.contains(measured):
+                    mismatches.add(int(pc), "xcheck-coalescing", (
+                        "coalescer measured %d transaction(s), static "
+                        "model predicts %s (%s, phase known, full mask)"
+                        % (measured, interval.render(), access.label)
+                    ))
+            elif not 1 <= measured <= hi:
+                mismatches.add(int(pc), "xcheck-coalescing", (
+                    "coalescer measured %d transaction(s) outside the "
+                    "sound bound [1, %d] (%s)"
+                    % (measured, hi, access.label)
+                ))
+
+
+def _check_trip_counts(cost, trace, mismatches) -> None:
+    loops = [loop for loop in cost.loops if loop.latches]
+    if not loops:
+        return
+    exit_code = OpCode.EXIT.value
+    for warp in trace.warps:
+        if len(warp.ops) == 0 or int(warp.ops[-1]) != exit_code:
+            continue  # incomplete trace: segmentation would be meaningless
+        pcs = warp.pcs
+        for loop in loops:
+            # Latch executions per loop entry: a head occurrence whose
+            # predecessor in the stream is a latch continues the current
+            # entry; anything else starts a new one.
+            trips: List[int] = []
+            positions = np.flatnonzero(pcs == loop.head)
+            for idx in positions:
+                continuation = idx > 0 and int(pcs[idx - 1]) in loop.latches
+                if continuation and trips:
+                    trips[-1] += 1
+                else:
+                    trips.append(1)
+            for measured in trips:
+                if not loop.trip.contains(measured):
+                    mismatches.add(loop.head, "xcheck-trip-count", (
+                        "emulator ran the loop at pc %d for %d "
+                        "iteration(s); static trip count is %s%s"
+                        % (loop.head, measured, loop.trip.render(),
+                           " (exact)" if loop.trip.is_exact else "")
+                    ))
+                    break
+
+
+def _check_divergence(cost, trace, mismatches) -> None:
+    for warp in trace.warps:
+        active = np.asarray(warp.active, dtype=np.int64)
+        if len(active) == 0:
+            continue
+        base = int(active[0])
+        partial = np.flatnonzero(active < base)
+        for i in partial:
+            pc = int(warp.pcs[i])
+            if pc not in cost.divergent_masked:
+                mismatches.add(pc, "xcheck-divergence", (
+                    "partial mask (%d of %d lanes) at pc %d, which no "
+                    "statically divergent branch region covers — SIMT "
+                    "stack reconvergence disagrees with the CFG "
+                    "post-dominators" % (int(active[i]), base, pc)
+                ))
+
+
+def _check_bank_conflicts(cost, trace, config, mismatches) -> None:
+    shared = {a.pc: a for a in cost.accesses if a.space == "shared"}
+    for warp in trace.warps:
+        for i, pc in enumerate(warp.pcs):
+            access = shared.get(int(pc))
+            if access is None:
+                continue
+            measured = int(warp.conflict[i])
+            interval = access.bank_conflict
+            hi = config.warp_size if interval.hi is None else interval.hi
+            full = int(warp.active[i]) == config.warp_size
+            if full and access.phase_known:
+                ok = interval.contains(measured)
+            else:
+                ok = 0 <= measured <= hi
+            if not ok:
+                mismatches.add(int(pc), "xcheck-bank-conflict", (
+                    "measured bank-conflict degree %d, static model "
+                    "predicts %s" % (measured, interval.render())
+                ))
+
+
+def crosscheck_kernel(
+    kernel: Kernel,
+    trace: KernelTrace,
+    cost: Optional[KernelCostModel] = None,
+    config: Optional[GPUConfig] = None,
+) -> LintReport:
+    """Cross-validate one kernel's dynamic trace against its cost model.
+
+    Returns a :class:`LintReport` (check ids prefixed ``xcheck-``); any
+    error means a dynamic collector and the static analysis disagree on
+    a fact the static side proves.
+    """
+    config = config or GPUConfig()
+    if cost is None:
+        cost = analyze_kernel(kernel, config)
+    cfg = ControlFlowGraph(kernel.program)
+    mismatches = _Mismatches()
+    _check_structure(kernel, cfg, trace, mismatches)
+    _check_coalescing(cost, trace, config, mismatches)
+    _check_trip_counts(cost, trace, mismatches)
+    _check_divergence(cost, trace, mismatches)
+    _check_bank_conflicts(cost, trace, config, mismatches)
+    return LintReport(
+        kernel=kernel.name, diagnostics=tuple(mismatches.diagnostics())
+    )

@@ -122,6 +122,99 @@ class TestLint:
         out = capsys.readouterr().out
         assert "uninit-read" in out and "error" in out
 
+    def test_cost_flag_renders_cost_model(self, capsys):
+        assert main(["lint", "vectoradd", "--scale", "tiny", "--cost"]) == 0
+        out = capsys.readouterr().out
+        assert "cost model: vectoradd" in out
+        assert "loop @" in out
+
+    def test_cost_flag_json(self, capsys):
+        import json
+
+        assert main(
+            ["lint", "strided_deg8", "--scale", "tiny", "--cost",
+             "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        cost = payload["kernels"][0]["cost"]
+        assert cost["kernel"] == "strided_deg8"
+        assert cost["loops"][0]["exact"]
+        assert any(
+            a["class"] == "strided-8" for a in cost["accesses"]
+        )
+
+
+class TestAnalyze:
+    def test_single_kernel(self, capsys):
+        assert main(["analyze", "vectoradd", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "cost model: vectoradd" in out
+        assert "xcheck vectoradd: clean" in out
+        assert "0 xcheck error(s)" in out
+
+    def test_static_only_skips_xcheck(self, capsys):
+        assert main(
+            ["analyze", "vectoradd", "--scale", "tiny", "--static-only"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cost model: vectoradd" in out
+        assert "xcheck" not in out
+
+    def test_suite_json(self, capsys):
+        import json
+
+        assert main(
+            ["analyze", "--suite", "--scale", "tiny", "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_kernels"] == 40
+        assert payload["n_xcheck_errors"] == 0
+        names = {entry["kernel"] for entry in payload["kernels"]}
+        assert "vectoradd" in names and "mandelbrot" in names
+        entry = next(
+            e for e in payload["kernels"] if e["kernel"] == "vectoradd"
+        )
+        assert entry["cost"]["loops"][0]["exact"]
+        assert entry["xcheck"]["n_errors"] == 0
+
+    def test_unknown_kernel_rejected(self, capsys):
+        assert main(["analyze", "nope", "--scale", "tiny"]) == 2
+
+    def test_xcheck_mismatch_exits_nonzero(self, capsys, monkeypatch):
+        # A deliberately mis-modelled kernel: the trace comes from an
+        # iters=2 build while analyze sees an iters=3 program, so the
+        # exact trip count must flag a mismatch and fail the run.
+        from repro.trace.emulator import emulate
+        from repro.workloads import suite as suite_mod
+        from repro.workloads.generators import Scale
+
+        spec = suite_mod.SUITE["vectoradd"]
+
+        def drifting_build(scale):
+            return spec.build(
+                Scale(scale.n_blocks, scale.block_size, scale.iters + 1)
+            )
+
+        import repro.pipeline.stages as stages_mod
+
+        real_compute_xcheck = stages_mod.compute_xcheck
+
+        def corrupted_xcheck(kernel_name, scale, trace, cost, config):
+            kernel, memory = spec.build(
+                Scale(scale.n_blocks, scale.block_size, scale.iters + 1)
+            )
+            drifted = emulate(kernel, config, memory=memory)
+            return real_compute_xcheck(
+                kernel_name, scale, drifted, cost, config
+            )
+
+        monkeypatch.setattr(
+            "repro.pipeline.pipeline.compute_xcheck", corrupted_xcheck
+        )
+        assert main(["analyze", "vectoradd", "--scale", "tiny"]) == 1
+        out = capsys.readouterr().out
+        assert "xcheck-trip-count" in out
+
 
 class TestObservabilityFlags:
     def test_quiet_suppresses_report(self, capsys):

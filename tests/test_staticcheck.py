@@ -351,3 +351,135 @@ class TestReconvergenceRegression:
         assert lint_kernel(kernel).by_check("bad-reconvergence") == ()
         trace = emulate(kernel, GPUConfig.small(n_cores=1, warps_per_core=4))
         assert trace.total_insts == 14  # 7 dynamic instructions x 2 warps
+
+
+class TestDegenerateCFGs:
+    """Regression tests: the worklist solver must stay total and sound on
+    pathological control flow (empty inputs, self-loops, dead code,
+    programs that never reach an exit)."""
+
+    def test_solve_handles_empty_program(self):
+        class EmptyCFG:
+            program = ()
+            reachable = frozenset()
+            succs = {}
+            preds = {}
+
+        for analysis in (ReachingDefinitions(), LiveRegisters(),
+                         DivergenceSources()):
+            in_facts, out_facts = solve(EmptyCFG(), analysis)
+            assert in_facts == {} and out_facts == {}
+
+    def test_conditional_self_loop_converges(self):
+        # A one-instruction loop body: the branch is its own latch.
+        program = (
+            setp_lane_lt(Reg(0), 8),
+            Instruction("bra", target=1, reconv=2, pred=Reg(0)),
+            Instruction("exit"),
+        )
+        cfg = ControlFlowGraph(program)
+        in_facts, _ = solve(cfg, ReachingDefinitions())
+        assert (0, 0) in in_facts[1]
+        live_in, _ = solve(cfg, LiveRegisters())
+        assert 0 in live_in[1]
+
+    def test_unconditional_self_loop_no_reachable_exit(self):
+        # An infinite loop: no exit is reachable, so a backward analysis
+        # has no live boundary — it must terminate with empty facts, not
+        # spin.
+        program = (
+            Instruction("mov", dst=Reg(0), srcs=(Imm(1),)),
+            Instruction("bra", target=1),
+            Instruction("exit"),  # unreachable
+        )
+        cfg = ControlFlowGraph(program)
+        assert 2 not in cfg.reachable
+        live_in, live_out = solve(cfg, LiveRegisters())
+        assert live_in[1] == frozenset()
+        rdef_in, _ = solve(cfg, ReachingDefinitions())
+        assert (0, 0) in rdef_in[1]
+
+    def test_unreachable_defs_do_not_leak(self):
+        # pc 3 writes Reg(7) but is dead code: its definition must not
+        # reach any reachable pc through the join identity.
+        program = (
+            Instruction("mov", dst=Reg(0), srcs=(Imm(1),)),
+            Instruction("bra", target=4),
+            Instruction("mov", dst=Reg(7), srcs=(Imm(9),)),  # dead
+            Instruction("st", srcs=(Imm(0), Reg(7))),  # dead
+            Instruction("exit"),
+        )
+        cfg = ControlFlowGraph(program)
+        rdef_in, _ = solve(cfg, ReachingDefinitions())
+        for pc in cfg.reachable:
+            # The UNINIT boundary def is fine; the dead store's actual
+            # definition (def pc >= 0) must never reach live code.
+            assert all(
+                not (reg == 7 and def_pc >= 0)
+                for reg, def_pc in rdef_in[pc]
+            )
+
+    def test_cost_model_total_on_infinite_loop(self):
+        # The static analyzer itself (loops + affine + trips) must stay
+        # total on a program that never terminates.
+        from repro.staticcheck import analyze_program
+        from repro.staticcheck.costmodel import Interval
+
+        program = (
+            Instruction("mov", dst=Reg(0), srcs=(Imm(1),)),
+            Instruction("bra", target=1),
+            Instruction("exit"),
+        )
+        cost = analyze_program(program)
+        assert len(cost.loops) == 1
+        assert cost.loops[0].trip == Interval(1, None)
+        assert cost.insts_per_warp.hi is None
+
+    def test_cost_model_total_on_empty_program(self):
+        from repro.staticcheck import analyze_program
+
+        cost = analyze_program(())
+        assert cost.n_static_insts == 0
+        assert cost.skeleton == ()
+
+
+class TestReportRoundTrip:
+    """JSON serialisation must round-trip losslessly in both directions
+    (the CI artifact is consumed by external tooling)."""
+
+    def test_reports_round_trip_through_json(self):
+        from repro.staticcheck import reports_from_json
+
+        dirty = (
+            Instruction("mov", dst=Reg(0), srcs=(Imm(1),)),  # dead write
+            Instruction("mov", dst=Reg(0), srcs=(Imm(2),)),
+            Instruction("st", srcs=(Imm(0), Reg(0))),
+            Instruction("exit"),
+        )
+        reports = [
+            lint_program(dirty, name="dirty"),
+            lint_program(DIAMOND, name="clean"),
+        ]
+        assert reports[0].diagnostics  # fixture must be non-trivial
+        text = reports_to_json(reports)
+        recovered = reports_from_json(text)
+        assert recovered == reports
+        # A second encode of the decoded reports is byte-identical.
+        assert reports_to_json(recovered) == text
+
+    def test_round_trip_preserves_severity_split(self):
+        from repro.staticcheck import reports_from_json
+
+        dirty = (
+            Instruction("st", srcs=(Imm(0), Reg(3))),  # uninitialized read
+            Instruction("exit"),
+        )
+        (report,) = reports_from_json(
+            reports_to_json([lint_program(dirty, name="uninit")])
+        )
+        assert len(report.errors) == len(
+            lint_program(dirty, name="uninit").errors
+        )
+        assert all(
+            isinstance(d.severity, Severity) for d in report.diagnostics
+        )
