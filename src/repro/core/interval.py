@@ -24,7 +24,8 @@ requests, DRAM-bound read/write traffic) for the contention models.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from functools import cached_property
+from typing import List, Sequence
 
 from repro.core.latency import LatencyTable
 from repro.memory.hierarchy import MissEvent
@@ -84,14 +85,20 @@ class IntervalProfile:
         """Number of intervals in the profile."""
         return len(self.intervals)
 
-    @property
+    @cached_property
     def n_insts(self) -> int:
-        """Total instructions across all intervals."""
+        """Total instructions across all intervals.
+
+        Computed once on first access (profiles are frozen after
+        construction) — the downstream models read this inside per-cycle
+        loops, where an O(n_intervals) re-sum per access dominated.
+        """
         return sum(i.n_insts for i in self.intervals)
 
-    @property
+    @cached_property
     def total_stall_cycles(self) -> float:
-        """Total stall cycles across all intervals."""
+        """Total stall cycles across all intervals (cached like
+        :attr:`n_insts`; do not mutate ``intervals`` after reading)."""
         return sum(i.stall_cycles for i in self.intervals)
 
     @property
@@ -123,6 +130,30 @@ class IntervalProfile:
         name to mirror the paper's equations.
         """
         return self.warp_perf
+
+
+def build_interval_profiles(
+    warps: Sequence[WarpTrace],
+    latency_table: LatencyTable,
+    issue_rate: float = 1.0,
+) -> List[IntervalProfile]:
+    """Interval profiles for an ordered collection of warp traces.
+
+    Dispatches to the batched numpy implementation
+    (:mod:`repro.core.interval_vec`) unless ``REPRO_SCALAR=1`` selects
+    the per-warp reference scan below; both produce bitwise-identical
+    profiles.
+    """
+    from repro.backend import use_scalar
+
+    if use_scalar():
+        return [
+            build_interval_profile(warp, latency_table, issue_rate)
+            for warp in warps
+        ]
+    from repro.core.interval_vec import build_interval_profiles as vec
+
+    return vec(warps, latency_table, issue_rate)
 
 
 def build_interval_profile(

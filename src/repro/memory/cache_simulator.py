@@ -17,7 +17,7 @@ the output is, per static memory instruction (PC):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.config import GPUConfig
 from repro.memory.hierarchy import MemoryHierarchy, MissEvent
@@ -193,7 +193,19 @@ def simulate_caches(
     concurrently on a core), waves run back to back — matching the
     occupancy the timing oracle enforces, which is what determines cache
     reuse distances.
+
+    Dispatches to the batched replay (:mod:`repro.memory.cache_sim_vec`)
+    unless ``REPRO_SCALAR=1`` selects the loop-nest reference below;
+    both produce bitwise-identical results.
     """
+    from repro.backend import use_scalar
+
+    if not use_scalar():
+        from repro.memory.cache_sim_vec import simulate_caches_vectorized
+
+        return simulate_caches_vectorized(
+            trace, config, warps_per_core=warps_per_core
+        )
     hierarchy = MemoryHierarchy(config)
     per_pc: Dict[int, PCStats] = {}
 

@@ -43,6 +43,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
+from repro.backend import BACKEND_STAGES, current_backend
 from repro.config import GPUConfig
 from repro.obs.metrics import MetricsRegistry, diff_snapshots
 from repro.obs.tracer import Tracer, get_tracer
@@ -200,7 +201,12 @@ class Pipeline:
         if artifact is not None:
             self.metrics.counter("pipeline.stage_hits", stage=stage).inc()
             return artifact
-        with self.tracer.span(stage, category="stage", args={"key": key}):
+        span_args = {"key": key}
+        backend = None
+        if stage in BACKEND_STAGES:
+            backend = current_backend()
+            span_args["trace.backend"] = backend
+        with self.tracer.span(stage, category="stage", args=span_args):
             start = time.perf_counter()
             artifact = compute()
             elapsed = time.perf_counter() - start
@@ -210,6 +216,15 @@ class Pipeline:
         metrics.histogram("pipeline.stage_ms", stage=stage).observe(
             elapsed * 1e3
         )
+        if backend is not None:
+            # Per-backend shadow counters (separate names so the exact-
+            # label stage views above stay backend-agnostic).
+            metrics.counter(
+                "pipeline.backend_executions", stage=stage, backend=backend
+            ).inc()
+            metrics.counter(
+                "pipeline.backend_seconds", stage=stage, backend=backend
+            ).inc(elapsed)
         _LOG.debug("stage %s executed in %.1f ms (%s)",
                    stage, elapsed * 1e3, key)
         self.store.put(key, artifact)

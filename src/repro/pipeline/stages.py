@@ -30,7 +30,7 @@ from dataclasses import dataclass
 from typing import FrozenSet, Optional, Tuple
 
 from repro.config import ALL_FIELDS, TRACE_FIELDS, GPUConfig
-from repro.core.interval import build_interval_profile
+from repro.core.interval import build_interval_profiles
 from repro.core.latency import build_latency_table
 from repro.core.representative import select_representative
 from repro.memory.cache_simulator import simulate_caches
@@ -248,11 +248,12 @@ def compute_latency_table(trace, cache_result, config):
 
 
 def compute_profiles(warps, latency_table, issue_rate: float):
-    """Interval profiles for an ordered slice of warp traces."""
-    return [
-        build_interval_profile(warp, latency_table, issue_rate)
-        for warp in warps
-    ]
+    """Interval profiles for an ordered slice of warp traces.
+
+    Batched across warps by default (``repro.core.interval_vec``);
+    ``REPRO_SCALAR=1`` selects the per-warp reference scan.
+    """
+    return build_interval_profiles(warps, latency_table, issue_rate)
 
 
 def compute_clustering(profiles, strategy: str):

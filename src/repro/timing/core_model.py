@@ -367,15 +367,29 @@ class CoreModel:
     # Scheduling --------------------------------------------------------------
 
     def _candidates_rr(self) -> List[_WarpRun]:
-        n = len(self._resident)
+        resident = self._resident
+        n = len(resident)
         start = self._rr_next % n if n else 0
-        return self._resident[start:] + self._resident[:start]
+        if not start:
+            # Returning the live list is safe: the scan in step() stops
+            # at the first issue, and _issue only mutates residency on
+            # the path that immediately returns.
+            return resident
+        rotated = resident[start:]
+        rotated += resident[:start]
+        return rotated
 
     def _candidates_gto(self) -> List[_WarpRun]:
-        order = sorted(self._resident, key=lambda run: run.age)
-        if self._gto_current is not None and not self._gto_current.finished:
-            order.remove(self._gto_current)
-            order.insert(0, self._gto_current)
+        # _resident is always age-ordered: activation appends runs with
+        # increasing ages and retirement preserves relative order — so
+        # the per-step sort the scheduler used to do is a no-op.
+        current = self._gto_current
+        if current is None or current.finished:
+            return self._resident
+        order = [current]
+        for run in self._resident:
+            if run is not current:
+                order.append(run)
         return order
 
     def step(self, now: float) -> bool:

@@ -151,9 +151,19 @@ def emulate(
         Synthetic memory contents; defaults to the hash-valued image.
     max_warp_insts:
         Safety bound on dynamic instructions per warp (runaway loops).
+
+    The batched lockstep backend (:mod:`repro.trace.emulator_vec`) runs
+    by default and produces bitwise-identical traces; set
+    ``REPRO_SCALAR=1`` to force this module's per-warp reference loop.
     """
+    from repro.backend import use_scalar
+
     config = config if config is not None else GPUConfig()
     memory = memory if memory is not None else MemoryImage()
+    if not use_scalar():
+        from repro.trace.emulator_vec import emulate_vectorized
+
+        return emulate_vectorized(kernel, config, memory, max_warp_insts)
     n_regs = kernel.max_register + 1
     trace = KernelTrace(
         kernel_name=kernel.name,

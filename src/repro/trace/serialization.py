@@ -7,9 +7,16 @@ design-space study emulate each kernel once and sweep hardware
 configurations across processes or machines.
 
 The format is a single compressed numpy archive: a small JSON header
-plus, per warp, the five column arrays of :class:`WarpTrace`.  Integers
-are stored at their natural widths; the archive is portable and
-versioned.
+plus, per warp, the column arrays of :class:`WarpTrace`.  Integers are
+stored at their natural widths; the archive is portable and versioned.
+
+Every column has exactly one canonical dtype (:data:`COLUMN_DTYPES`),
+enforced on *both* save and load: whatever widths an archive carries —
+a hand-built trace, an older tool, a different platform's default int —
+the loaded trace holds the canonical columns.  That is what keeps
+disk-cached artifacts backend- and platform-independent: the pipeline's
+content-addressed keys hash the raw column bytes (``trace_digest``), so
+a dtype drift would silently fork the cache.
 """
 
 from __future__ import annotations
@@ -20,14 +27,48 @@ from typing import Union
 
 import numpy as np
 
-from repro.trace.trace_types import KernelTrace, WarpTrace
+from repro.trace.trace_types import MAX_DEPS, KernelTrace, WarpTrace
 
 #: Bump when the on-disk layout changes incompatibly.
 FORMAT_VERSION = 2
 
+#: Canonical dtype of every WarpTrace column (the dtypes
+#: ``WarpTraceBuilder.build`` produces).  ``deps`` is additionally
+#: shape-normalised to ``(n, MAX_DEPS)``.
+COLUMN_DTYPES = {
+    "pcs": np.dtype(np.int32),
+    "ops": np.dtype(np.int8),
+    "deps": np.dtype(np.int32),
+    "active": np.dtype(np.int16),
+    "req_offsets": np.dtype(np.int64),
+    "req_lines": np.dtype(np.int64),
+    "conflict": np.dtype(np.int16),
+}
+
 
 class TraceFormatError(RuntimeError):
     """Raised when an archive is not a valid trace file."""
+
+
+def _canonical(name: str, value: np.ndarray) -> np.ndarray:
+    """``value`` as the canonical dtype/shape of column ``name``.
+
+    Already-canonical arrays pass through untouched (no copy); anything
+    else is cast, with a :class:`TraceFormatError` if the values do not
+    survive the cast exactly.
+    """
+    spec = COLUMN_DTYPES[name]
+    array = np.asarray(value)
+    if name == "deps":
+        array = array.reshape(-1, MAX_DEPS)
+    if array.dtype == spec:
+        return array
+    cast = array.astype(spec)
+    if not np.array_equal(cast, array):
+        raise TraceFormatError(
+            "column %r does not fit its canonical dtype %s" % (name, spec)
+        )
+    return cast
 
 
 def save_trace(trace: KernelTrace, path: Union[str, os.PathLike]) -> None:
@@ -47,13 +88,10 @@ def save_trace(trace: KernelTrace, path: Union[str, os.PathLike]) -> None:
         json.dumps(header).encode("utf-8"), dtype=np.uint8
     )}
     for i, warp in enumerate(trace.warps):
-        arrays["w%d_pcs" % i] = warp.pcs
-        arrays["w%d_ops" % i] = warp.ops
-        arrays["w%d_deps" % i] = warp.deps
-        arrays["w%d_active" % i] = warp.active
-        arrays["w%d_req_offsets" % i] = warp.req_offsets
-        arrays["w%d_req_lines" % i] = warp.req_lines
-        arrays["w%d_conflict" % i] = warp.conflict
+        for name in COLUMN_DTYPES:
+            arrays["w%d_%s" % (i, name)] = _canonical(
+                name, getattr(warp, name)
+            )
     np.savez_compressed(path, **arrays)
 
 
@@ -79,21 +117,22 @@ def load_trace(path: Union[str, os.PathLike]) -> KernelTrace:
             n_blocks=header["n_blocks"],
         )
         for i, meta in enumerate(header["warps"]):
+            columns = {}
+            for name in COLUMN_DTYPES:
+                key = "w%d_%s" % (i, name)
+                if key not in archive:
+                    if name == "conflict":
+                        continue  # v1 archives predate scratchpad support
+                    raise TraceFormatError(
+                        "missing column %s in %s" % (key, path)
+                    )
+                columns[name] = _canonical(name, archive[key])
             trace.warps.append(
                 WarpTrace(
                     warp_id=meta["warp_id"],
                     block_id=meta["block_id"],
-                    pcs=archive["w%d_pcs" % i],
-                    ops=archive["w%d_ops" % i],
-                    deps=archive["w%d_deps" % i],
-                    active=archive["w%d_active" % i],
-                    req_offsets=archive["w%d_req_offsets" % i],
-                    req_lines=archive["w%d_req_lines" % i],
-                    conflict=(
-                        archive["w%d_conflict" % i]
-                        if "w%d_conflict" % i in archive
-                        else None  # v1 archives predate scratchpad support
-                    ),
+                    conflict=columns.pop("conflict", None),
+                    **columns,
                 )
             )
     return trace

@@ -168,3 +168,20 @@ class TestProfileAggregates:
         )
         assert profile.n_insts == 3
         assert sum(i.n_insts for i in profile.intervals) == 3
+
+    def test_aggregates_computed_once(self):
+        # n_insts / total_stall_cycles sit inside per-cycle model loops;
+        # they must be cached on first access, not re-summed per call.
+        profile = IntervalProfile(warp_id=0)
+        profile.intervals.append(Interval(n_insts=2, stall_cycles=5.0))
+        assert profile.n_insts == 2
+        assert profile.total_stall_cycles == 5.0
+        # Were the properties re-summing, this append would change them.
+        profile.intervals.append(Interval(n_insts=7, stall_cycles=9.0))
+        assert profile.n_insts == 2
+        assert profile.total_stall_cycles == 5.0
+        # The cache is per-instance state, not class state.
+        other = IntervalProfile(warp_id=1)
+        other.intervals.append(Interval(n_insts=1, stall_cycles=1.0))
+        assert other.n_insts == 1
+        assert other.total_stall_cycles == 1.0

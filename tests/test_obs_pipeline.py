@@ -75,6 +75,44 @@ class TestStageMetrics:
         assert "trace" in table and "oracle" in table
         assert "p95 ms" in table
 
+    def test_backend_recorded_on_hot_path_stages(self, config, monkeypatch):
+        from repro.backend import BACKEND_STAGES
+
+        pipeline = Pipeline(config, scale=Scale.tiny())
+        pipeline.evaluate("vectoradd", warps_per_core=4)
+        metrics = pipeline.metrics
+        for stage in BACKEND_STAGES:
+            assert metrics.counter_value(
+                "pipeline.backend_executions",
+                stage=stage, backend="vectorized",
+            ) == 1
+            assert metrics.counter_value(
+                "pipeline.backend_seconds",
+                stage=stage, backend="vectorized",
+            ) > 0.0
+        # Non-switched stages carry no backend counter.
+        assert metrics.counter_value(
+            "pipeline.backend_executions",
+            stage="oracle", backend="vectorized",
+        ) == 0
+        assert "vectorized" in render_stage_table(metrics)
+        # A scalar re-run of the same stages renders as mixed.
+        monkeypatch.setenv("REPRO_SCALAR", "1")
+        pipeline.evaluate("strided_deg8", warps_per_core=4)
+        assert "mixed" in render_stage_table(pipeline.metrics)
+
+    def test_backend_span_arg(self, config, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALAR", "1")
+        tracer = Tracer()
+        pipeline = Pipeline(config, scale=Scale.tiny(), tracer=tracer)
+        pipeline.evaluate("vectoradd", warps_per_core=4)
+        by_name = {
+            s["name"]: s for s in tracer.spans() if s["cat"] == "stage"
+        }
+        assert by_name["trace"]["args"]["trace.backend"] == "scalar"
+        assert by_name["cache_sim"]["args"]["trace.backend"] == "scalar"
+        assert "trace.backend" not in by_name["oracle"]["args"]
+
 
 class TestStageSpans:
     def test_stage_spans_recorded_when_enabled(self, config):

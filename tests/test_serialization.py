@@ -7,9 +7,10 @@ import pytest
 
 from repro.config import ConfigError, GPUConfig
 from repro.memory.dram import DRAMSystem
+from repro.pipeline.stages import trace_digest
 from repro.timing import TimingSimulator
 from repro.trace import emulate, load_trace, save_trace
-from repro.trace.serialization import TraceFormatError
+from repro.trace.serialization import COLUMN_DTYPES, TraceFormatError
 
 from tests.conftest import build_divergent_load, build_saxpy
 
@@ -62,6 +63,63 @@ class TestTraceSerialization:
         np.savez(path, header=np.frombuffer(header, dtype=np.uint8))
         with pytest.raises(TraceFormatError):
             load_trace(path)
+
+
+class TestDtypeStability:
+    """Archives must round-trip the canonical column dtypes exactly —
+    the content-addressed store hashes raw column bytes, so any drift
+    silently forks the artifact cache."""
+
+    def roundtrip(self, tmp_path, mutate=None):
+        trace = emulate(build_saxpy(), GPUConfig.small())
+        path = os.path.join(tmp_path, "trace.npz")
+        save_trace(trace, path)
+        if mutate is not None:
+            with np.load(path) as archive:
+                arrays = {k: archive[k] for k in archive.files}
+            mutate(arrays)
+            np.savez(path, **arrays)
+        return trace, load_trace(path)
+
+    def test_roundtrip_preserves_dtypes_and_shapes(self, tmp_path):
+        original, loaded = self.roundtrip(tmp_path)
+        for a, b in zip(original.warps, loaded.warps):
+            for name, spec in COLUMN_DTYPES.items():
+                column = getattr(b, name)
+                assert column.dtype == spec, name
+                assert column.shape == getattr(a, name).shape, name
+
+    def test_digest_survives_roundtrip(self, tmp_path):
+        original, loaded = self.roundtrip(tmp_path)
+        assert trace_digest(loaded) == trace_digest(original)
+
+    def test_foreign_widths_are_normalized(self, tmp_path):
+        # A hand-built archive using platform-default ints (e.g. pcs as
+        # int64) must load as the canonical columns — same digest.
+        def widen(arrays):
+            arrays["w0_pcs"] = arrays["w0_pcs"].astype(np.int64)
+            arrays["w0_active"] = arrays["w0_active"].astype(np.int32)
+
+        original, loaded = self.roundtrip(tmp_path, mutate=widen)
+        assert loaded.warps[0].pcs.dtype == np.dtype(np.int32)
+        assert loaded.warps[0].active.dtype == np.dtype(np.int16)
+        assert trace_digest(loaded) == trace_digest(original)
+
+    def test_rejects_values_that_do_not_fit(self, tmp_path):
+        def overflow(arrays):
+            pcs = arrays["w0_pcs"].astype(np.int64)
+            pcs[0] = 2**40  # does not survive the cast to int32
+            arrays["w0_pcs"] = pcs
+
+        with pytest.raises(TraceFormatError):
+            self.roundtrip(tmp_path, mutate=overflow)
+
+    def test_rejects_missing_column(self, tmp_path):
+        def drop(arrays):
+            del arrays["w0_deps"]
+
+        with pytest.raises(TraceFormatError):
+            self.roundtrip(tmp_path, mutate=drop)
 
 
 class TestDRAMChannels:
