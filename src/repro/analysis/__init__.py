@@ -10,6 +10,8 @@ synthetic kernel actually exercises.
 from repro.analysis.characterize import (
     KernelCharacterization,
     characterize,
+    compare_architectures,
+    render_arch_comparison,
     render_characterization,
     suite_report,
 )
@@ -17,6 +19,8 @@ from repro.analysis.characterize import (
 __all__ = [
     "KernelCharacterization",
     "characterize",
+    "compare_architectures",
+    "render_arch_comparison",
     "render_characterization",
     "suite_report",
 ]

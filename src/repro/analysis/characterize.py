@@ -312,3 +312,76 @@ def suite_report(
         if stage_table:
             report += "\n\n" + stage_table
     return report
+
+
+def compare_architectures(
+    scale=None,
+    kernels: Optional[List[str]] = None,
+    config=None,
+    arches: Optional[List[str]] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Predicted CPI per kernel under each architecture backend.
+
+    Runs the analytical model once per (kernel, arch) pair — each arch
+    gets its own :class:`~repro.pipeline.Pipeline` so artifacts stay
+    content-addressed per backend — and returns
+    ``{kernel: {arch: cpi}}``.  The baseline for delta reporting is the
+    first entry of ``arches`` (default: the paper model,
+    ``gpumech2014``, followed by the other registered backends).
+    """
+    from repro.arch import ARCH_NAMES
+    from repro.config import GPUConfig
+    from repro.pipeline import Pipeline
+    from repro.workloads.generators import Scale
+    from repro.workloads.suite import kernel_names
+
+    config = config if config is not None else GPUConfig()
+    scale = scale if scale is not None else Scale.tiny()
+    names = kernels if kernels is not None else kernel_names()
+    if arches is None:
+        default = config.arch if config.arch in ARCH_NAMES else "gpumech2014"
+        arches = [default] + [a for a in ARCH_NAMES if a != default]
+    pipelines = {
+        arch: Pipeline(config.with_(arch=arch), scale=scale)
+        for arch in arches
+    }
+    results: Dict[str, Dict[str, float]] = {}
+    for name in names:
+        results[name] = {
+            arch: pipelines[arch].predict(name).cpi for arch in arches
+        }
+    return results
+
+
+def render_arch_comparison(results: Dict[str, Dict[str, float]]) -> str:
+    """Per-kernel CPI delta table across architecture backends.
+
+    ``results`` is the :func:`compare_architectures` mapping; the first
+    arch column (insertion order) is the baseline the deltas are
+    relative to.
+    """
+    from repro.harness.reporting import render_table
+
+    if not results:
+        return "arch comparison: no kernels"
+    arches = list(next(iter(results.values())))
+    base = arches[0]
+    header = ["kernel"] + ["%s CPI" % arch for arch in arches]
+    header += ["%s vs %s" % (arch, base) for arch in arches[1:]]
+    rows = []
+    for kernel, cpis in results.items():
+        row = [kernel] + ["%.3f" % cpis[arch] for arch in arches]
+        for arch in arches[1:]:
+            delta = (
+                100.0 * (cpis[arch] - cpis[base]) / cpis[base]
+                if cpis[base]
+                else 0.0
+            )
+            row.append("%+.1f%%" % delta)
+        rows.append(tuple(row))
+    return render_table(
+        tuple(header),
+        rows,
+        title="architecture comparison (%d kernels, baseline %s)"
+        % (len(rows), base),
+    )

@@ -1,0 +1,108 @@
+"""Pluggable microarchitecture backends (``GPUConfig.arch``).
+
+One :class:`~repro.arch.base.ArchBackend` per machine family:
+
+* ``gpumech2014`` — the paper's core (default; bitwise-identical to the
+  pre-backend code path): one scheduler per core, stack reconvergence.
+* ``subcore`` — a modern core: ``n_schedulers`` sub-core issue slots
+  with static warp partitions, independent-thread-scheduling-style
+  reconvergence.
+
+The registry is keyed by name and cross-checked against
+``repro.config.KNOWN_ARCHES`` (the config layer validates arch strings
+without importing this package).  Architecture selection is orthogonal
+to the scalar/vector *compute* backend (``repro.backend``): the compute
+backend must never change any result under any architecture —
+:func:`assert_backend_independent` is the executable form of that
+contract, exercised per-arch by ``tests/test_arch.py``.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Dict
+
+from repro.arch.base import ArchBackend, schedulers_for
+from repro.arch.gpumech2014 import GpuMech2014
+from repro.arch.subcore import SubCore
+from repro.config import KNOWN_ARCHES
+
+_REGISTRY: Dict[str, ArchBackend] = {
+    backend.name: backend for backend in (GpuMech2014(), SubCore())
+}
+
+#: Registered backend names, sorted (= ``config.KNOWN_ARCHES`` content).
+ARCH_NAMES = tuple(sorted(_REGISTRY))
+
+if set(ARCH_NAMES) != set(KNOWN_ARCHES):  # pragma: no cover - import guard
+    raise ImportError(
+        "arch registry %r disagrees with config.KNOWN_ARCHES %r"
+        % (ARCH_NAMES, KNOWN_ARCHES)
+    )
+
+
+def get_arch(name: str) -> ArchBackend:
+    """Look up a backend by its ``GPUConfig.arch`` name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            "unknown arch %r; known architecture backends: %s"
+            % (name, ", ".join(ARCH_NAMES))
+        ) from None
+
+
+def assert_backend_independent(
+    kernel_name: str,
+    config=None,
+    scale=None,
+):
+    """Assert the compute backend cannot change this kernel's prediction.
+
+    Runs the full prediction chain (trace → … → predict) under the
+    scalar and the vectorized compute backend for ``config.arch`` and
+    raises :class:`AssertionError` unless the two predictions are
+    pickle-identical (pickle equality is store-fingerprint equality).
+    Returns the prediction on success.  This is the ``repro.arch`` side
+    of the ``repro.backend`` contract: ``REPRO_SCALAR`` selects an
+    implementation, never an answer — under *either* architecture.
+    """
+    import os
+
+    from repro.backend import SCALAR_ENV
+    from repro.config import GPUConfig
+    from repro.pipeline import Pipeline
+    from repro.workloads.generators import Scale
+
+    config = config if config is not None else GPUConfig()
+    scale = scale if scale is not None else Scale.tiny()
+    predictions = {}
+    saved = os.environ.get(SCALAR_ENV)
+    try:
+        for scalar in (True, False):
+            os.environ[SCALAR_ENV] = "1" if scalar else "0"
+            pipeline = Pipeline(config, scale=scale)
+            predictions[scalar] = pipeline.predict(kernel_name)
+    finally:
+        if saved is None:
+            os.environ.pop(SCALAR_ENV, None)
+        else:
+            os.environ[SCALAR_ENV] = saved
+    if pickle.dumps(predictions[True]) != pickle.dumps(predictions[False]):
+        raise AssertionError(
+            "compute backend changed the %r prediction under arch=%r; "
+            "REPRO_SCALAR must be result-invariant"
+            % (kernel_name, config.arch)
+        )
+    return predictions[False]
+
+
+__all__ = [
+    "ArchBackend",
+    "ARCH_NAMES",
+    "GpuMech2014",
+    "SubCore",
+    "assert_backend_independent",
+    "get_arch",
+    "schedulers_for",
+]

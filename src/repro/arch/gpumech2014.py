@@ -1,0 +1,28 @@
+"""The paper's machine: one scheduler per core, stack reconvergence.
+
+This backend is the executable definition of "what GPUMech (MICRO 2014)
+models": post-dominator stack reconvergence in the emulator, a single
+issue slot shared by every resident warp in the oracle, and the Eq. 7-23
+multithreading/contention composition in the analytical model.  It is
+the default ``GPUConfig.arch`` and delegates verbatim to the existing
+``repro.core`` functions, so its predictions are bitwise-identical to
+the pre-backend code path (pinned by ``tests/test_arch.py`` the same way
+scalar-vs-vectorized equivalence is).
+"""
+
+from __future__ import annotations
+
+from repro.arch.base import ArchBackend
+
+
+class GpuMech2014(ArchBackend):
+    """2014-era GPU core (Table I of the paper)."""
+
+    name = "gpumech2014"
+    reconvergence = "stack"
+
+    def describe(self) -> str:
+        return (
+            "gpumech2014: 1 scheduler/core, stack reconvergence "
+            "(the paper's Table I machine)"
+        )

@@ -43,7 +43,7 @@ import os
 import sys
 from typing import List, Optional
 
-from repro.config import GPUConfig
+from repro.config import KNOWN_ARCHES, GPUConfig
 from repro.harness import experiments as ex
 from repro.harness.reporting import (
     configure_logging,
@@ -113,6 +113,12 @@ def _add_machine_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--bandwidth", type=float, default=192.0,
                         help="DRAM bandwidth in GB/s")
     parser.add_argument("--scheduler", choices=("rr", "gto"), default="rr")
+    parser.add_argument("--arch", choices=KNOWN_ARCHES,
+                        default="gpumech2014",
+                        help="architecture backend (see docs/architectures.md)")
+    parser.add_argument("--schedulers", type=int, default=4,
+                        help="sub-core schedulers per core "
+                        "(arch=subcore only)")
     parser.add_argument("--scale", choices=sorted(_SCALES), default="small",
                         help="workload scale preset")
     parser.add_argument("--jobs", type=int, default=1,
@@ -133,6 +139,8 @@ def _machine(args) -> GPUConfig:
         n_mshrs=args.mshrs,
         dram_bandwidth_gbps=args.bandwidth,
         scheduler=args.scheduler,
+        arch=args.arch,
+        n_schedulers=args.schedulers,
     )
 
 
@@ -305,11 +313,20 @@ def _cmd_analyze(args) -> int:
 def _cmd_characterize(args) -> int:
     from repro.analysis import (
         characterize,
+        compare_architectures,
+        render_arch_comparison,
         render_characterization,
         suite_report,
     )
 
     scale = _SCALES[args.scale]()
+    if args.compare_arch:
+        kernels = None if args.kernel == "all" else [args.kernel]
+        results = compare_architectures(
+            scale=scale, kernels=kernels, config=_machine(args)
+        )
+        emit(render_arch_comparison(results))
+        return 0
     if args.kernel == "all":
         runner = _runner(args)
         emit(suite_report(scale=scale, config=runner.config,
@@ -411,6 +428,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="behavioural metrics of a kernel ('all' for the whole suite)",
     )
     characterize.add_argument("kernel")
+    characterize.add_argument("--compare-arch", action="store_true",
+                              help="predicted-CPI delta table across all "
+                              "architecture backends")
     _add_machine_args(characterize)
 
     lint = sub.add_parser(

@@ -27,13 +27,24 @@ class ConfigError(ValueError):
     """Raised when a :class:`GPUConfig` fails validation."""
 
 
+#: Registered microarchitecture backends (see ``repro.arch``).  Defined
+#: here rather than imported so the config layer stays import-cycle-free;
+#: ``repro.arch`` cross-checks its registry against this tuple at import.
+KNOWN_ARCHES = ("gpumech2014", "subcore")
+
+
 #: Fields the *functional emulator* reads: they determine the dynamic
-#: trace (lane count, coalescing granularity, bank-conflict degrees).
-#: Changing any other field leaves the trace artifact valid — the
-#: invariant behind the paper's Sec. VI-D cost argument and the staged
-#: pipeline's invalidation rules (``repro.pipeline``).
+#: trace (lane count, coalescing granularity, bank-conflict degrees
+#: — and, via the architecture backend's reconvergence policy, the
+#: divergence serialisation order).  Changing any other field leaves the
+#: trace artifact valid — the invariant behind the paper's Sec. VI-D
+#: cost argument and the staged pipeline's invalidation rules
+#: (``repro.pipeline``).  ``arch`` is here because independent-thread-
+#: scheduling reconvergence reorders divergent warps' dynamic streams;
+#: the scalar/vector *compute* backend (``repro.backend``) by contrast
+#: never changes the trace and is deliberately absent.
 TRACE_FIELDS: FrozenSet[str] = frozenset(
-    {"warp_size", "simt_width", "line_size", "smem_banks"}
+    {"warp_size", "simt_width", "line_size", "smem_banks", "arch"}
 )
 
 
@@ -111,7 +122,31 @@ class GPUConfig:
         default_factory=lambda: dict(DEFAULT_OP_LATENCIES)
     )
 
+    # Microarchitecture backend --------------------------------------------
+    #: Which machine family the model and oracle describe (``repro.arch``):
+    #: ``"gpumech2014"`` — the paper's 2014-era core (one scheduler,
+    #: stack-based reconvergence); ``"subcore"`` — a modern core with
+    #: ``n_schedulers`` sub-core issue slots and independent-thread-
+    #: scheduling-style reconvergence.  Unlike the scalar/vector compute
+    #: backend, the architecture changes the *answer*, so this field is
+    #: part of ``fingerprint()`` and keys the artifact store.
+    arch: str = "gpumech2014"
+    #: Sub-core schedulers (issue slots) per core; each owns a static
+    #: partition of the resident warps.  Read only by backends with
+    #: sub-core dispatch (``arch="subcore"``); gpumech2014 always runs
+    #: one scheduler per core.
+    n_schedulers: int = 4
+
     def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` unless every field is coherent.
+
+        Called automatically on construction (``with_()`` round-trips
+        re-validate too); public so callers holding a config from an
+        untrusted source can re-assert the invariants explicitly.
+        """
         if self.n_cores < 1:
             raise ConfigError("n_cores must be >= 1")
         if self.warp_size < 1:
@@ -157,6 +192,23 @@ class GPUConfig:
             raise ConfigError("invalid shared-memory parameters")
         if self.smem_banks < 1:
             raise ConfigError("smem_banks must be >= 1")
+        if self.arch not in KNOWN_ARCHES:
+            raise ConfigError(
+                "unknown arch %r; known architecture backends: %s"
+                % (self.arch, ", ".join(KNOWN_ARCHES))
+            )
+        if self.n_schedulers < 1:
+            raise ConfigError("n_schedulers must be >= 1")
+        if (
+            self.arch == "subcore"
+            and self.max_warps_per_core % self.n_schedulers != 0
+        ):
+            raise ConfigError(
+                "n_schedulers=%d must divide warps_per_core=%d under "
+                "arch='subcore' (warps are statically partitioned across "
+                "the sub-core schedulers)"
+                % (self.n_schedulers, self.max_warps_per_core)
+            )
 
     # Derived quantities ---------------------------------------------------
 

@@ -16,15 +16,11 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.config import GPUConfig
-from repro.core.contention import ContentionResult, model_contention
-from repro.core.cpi_stack import CPIStack, build_cpi_stack
+from repro.core.contention import ContentionResult
+from repro.core.cpi_stack import CPIStack
 from repro.core.interval import IntervalProfile
 from repro.core.latency import LatencyTable
-from repro.core.multithreading import (
-    MultithreadingResult,
-    kernel_alignment,
-    model_multithreading,
-)
+from repro.core.multithreading import MultithreadingResult, kernel_alignment
 from repro.core.representative import RepresentativeSelection
 from repro.isa.kernel import Kernel
 from repro.memory.cache_simulator import CacheSimResult
@@ -71,6 +67,9 @@ class Prediction:
     cpi_stack: CPIStack
     multithreading: MultithreadingResult
     contention: ContentionResult
+    #: Architecture backend that produced this prediction
+    #: (``GPUConfig.arch``; see ``repro.arch``).
+    arch: str = "gpumech2014"
 
     @property
     def ipc(self) -> float:
@@ -207,6 +206,8 @@ class GPUMech:
         warps_per_core: Optional[int] = None,
     ) -> Prediction:
         """Predict CPI under multithreading and contention (Fig. 5, right)."""
+        from repro.arch import get_arch  # deferred: circular import
+
         policy = policy if policy is not None else self.config.scheduler
         if n_warps is None:
             n_warps = resident_warps_per_core(
@@ -217,14 +218,18 @@ class GPUMech:
         if self.rr_mode == "blended" and policy == "rr":
             rep_trace = inputs.trace.warps[inputs.selection.index]
             alignment = kernel_alignment(rep_trace, inputs.latency_table)
-        multithreading = model_multithreading(
-            profile, n_warps, policy, rr_mode=self.rr_mode,
+        # Every microarchitecture-specific composition step dispatches
+        # through the backend; gpumech2014 delegates verbatim to the
+        # repro.core functions (bitwise-identical predictions).
+        arch = get_arch(self.config.arch)
+        multithreading = arch.model_multithreading(
+            profile, n_warps, policy, self.config, rr_mode=self.rr_mode,
             alignment=alignment,
         )
-        contention = model_contention(
+        contention = arch.model_contention(
             profile, n_warps, self.config, inputs.avg_miss_latency
         )
-        stack = build_cpi_stack(
+        stack = arch.build_cpi_stack(
             profile, inputs.latency_table, multithreading, contention,
             self.config,
         )
@@ -250,6 +255,7 @@ class GPUMech:
             cpi_stack=stack,
             multithreading=multithreading,
             contention=contention,
+            arch=self.config.arch,
         )
 
     def predict_kernel(

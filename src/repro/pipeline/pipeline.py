@@ -130,8 +130,8 @@ def _evaluate_in_worker(request: EvalRequest):
 
 
 def _profile_chunk(args):
-    warps, latency_table, issue_rate = args
-    return compute_profiles(warps, latency_table, issue_rate)
+    warps, latency_table, config = args
+    return compute_profiles(warps, latency_table, config)
 
 
 class Pipeline:
@@ -195,13 +195,22 @@ class Pipeline:
     def _scale_part(self) -> tuple:
         return (self.scale.n_blocks, self.scale.block_size, self.scale.iters)
 
-    def _execute(self, stage: str, key: str, compute: Callable):
-        """Store lookup, else compute + record + put."""
+    def _execute(self, stage: str, key: str, compute: Callable,
+                 arch: Optional[str] = None):
+        """Store lookup, else compute + record + put.
+
+        ``arch`` labels the execution with the architecture backend
+        (``GPUConfig.arch``) in both the span args and the per-arch
+        shadow counters — the observability face of the multi-backend
+        refactor (cross-arch sweeps show up separated per backend).
+        """
         artifact = self.store.get(key)
         if artifact is not None:
             self.metrics.counter("pipeline.stage_hits", stage=stage).inc()
             return artifact
         span_args = {"key": key}
+        if arch is not None:
+            span_args["arch"] = arch
         backend = None
         if stage in BACKEND_STAGES:
             backend = current_backend()
@@ -225,6 +234,11 @@ class Pipeline:
             metrics.counter(
                 "pipeline.backend_seconds", stage=stage, backend=backend
             ).inc(elapsed)
+        if arch is not None:
+            # Per-architecture shadow counters, same pattern as above.
+            metrics.counter(
+                "pipeline.arch_executions", stage=stage, arch=arch
+            ).inc()
         _LOG.debug("stage %s executed in %.1f ms (%s)",
                    stage, elapsed * 1e3, key)
         self.store.put(key, artifact)
@@ -271,6 +285,7 @@ class Pipeline:
             "costmodel",
             key,
             lambda: compute_costmodel(kernel_name, self.scale, config),
+            arch=config.arch,
         )
 
     def crosscheck(
@@ -304,7 +319,7 @@ class Pipeline:
                 )
             return report
 
-        return self._execute("xcheck", key, compute)
+        return self._execute("xcheck", key, compute, arch=config.arch)
 
     def trace(self, kernel_name: str, config: Optional[GPUConfig] = None):
         """The (cached) functional trace of a suite kernel.
@@ -318,7 +333,9 @@ class Pipeline:
         config = self._effective_config(config)
         key = self.trace_key(kernel_name, config)
         return self._execute(
-            "trace", key, lambda: compute_trace(kernel_name, self.scale, config)
+            "trace", key,
+            lambda: compute_trace(kernel_name, self.scale, config),
+            arch=config.arch,
         )
 
     def _cache_sim(self, trace, trace_key_, config, warps_per_core):
@@ -329,7 +346,9 @@ class Pipeline:
             self._record_cache_metrics(result)
             return result
 
-        return self._execute("cache_sim", key, compute), key
+        return self._execute(
+            "cache_sim", key, compute, arch=config.arch
+        ), key
 
     def _record_cache_metrics(self, result) -> None:
         """Absorb one cache simulation's hit/miss statistics (miss only:
@@ -352,6 +371,7 @@ class Pipeline:
                 "latency_table",
                 key,
                 lambda: compute_latency_table(trace, cache_result, config),
+                arch=config.arch,
             ),
             key,
         )
@@ -363,15 +383,15 @@ class Pipeline:
                 "interval_profiles",
                 key,
                 lambda: self._compute_profiles(trace, latency_table, config),
+                arch=config.arch,
             ),
             key,
         )
 
     def _compute_profiles(self, trace, latency_table, config):
         warps = trace.warps
-        issue_rate = config.issue_rate
         if self.jobs <= 1 or len(warps) < _PARALLEL_WARP_THRESHOLD:
-            return compute_profiles(warps, latency_table, issue_rate)
+            return compute_profiles(warps, latency_table, config)
         # Fan the per-warp Eq. 4 scans out across processes in order-
         # preserving chunks (one of the two dominant per-configuration
         # costs, Sec. VI-D).
@@ -380,7 +400,7 @@ class Pipeline:
             (len(warps) * i) // n_chunks for i in range(n_chunks + 1)
         ]
         chunks = [
-            (warps[bounds[i]:bounds[i + 1]], latency_table, issue_rate)
+            (warps[bounds[i]:bounds[i + 1]], latency_table, config)
             for i in range(n_chunks)
             if bounds[i] < bounds[i + 1]
         ]
@@ -394,7 +414,9 @@ class Pipeline:
         key = stage_key("clustering", config, profiles_key, strategy)
         return (
             self._execute(
-                "clustering", key, lambda: compute_clustering(profiles, strategy)
+                "clustering", key,
+                lambda: compute_clustering(profiles, strategy),
+                arch=config.arch,
             ),
             key,
         )
@@ -479,7 +501,7 @@ class Pipeline:
             self._record_oracle_metrics(stats)
             return stats
 
-        return self._execute("oracle", key, compute)
+        return self._execute("oracle", key, compute, arch=config.arch)
 
     def _record_oracle_metrics(self, stats) -> None:
         """Absorb one oracle run's counters (miss only, like any stage)."""
@@ -551,7 +573,9 @@ class Pipeline:
             pipeline=self,
         )
         return self._execute(
-            "predict", key, lambda: model.predict(inputs, n_warps=n_warps)
+            "predict", key,
+            lambda: model.predict(inputs, n_warps=n_warps),
+            arch=config.arch,
         )
 
     def evaluate(

@@ -30,7 +30,6 @@ from dataclasses import dataclass
 from typing import FrozenSet, Optional, Tuple
 
 from repro.config import ALL_FIELDS, TRACE_FIELDS, GPUConfig
-from repro.core.interval import build_interval_profiles
 from repro.core.latency import build_latency_table
 from repro.core.representative import select_representative
 from repro.memory.cache_simulator import simulate_caches
@@ -64,8 +63,11 @@ LATENCY_FIELDS: FrozenSet[str] = frozenset(
     }
 )
 
-#: Interval-profile config dependencies (issue bandwidth only).
-PROFILE_FIELDS: FrozenSet[str] = frozenset({"issue_width"})
+#: Interval-profile config dependencies: issue bandwidth plus the
+#: architecture backend (interval construction is an arch hook, so two
+#: archs must never share a profile artifact even while both shipped
+#: backends happen to build profiles identically).
+PROFILE_FIELDS: FrozenSet[str] = frozenset({"issue_width", "arch"})
 
 #: Static cost-model config dependencies: warp/line geometry for the
 #: access classifier, residency limits for occupancy, issue width and
@@ -247,13 +249,19 @@ def compute_latency_table(trace, cache_result, config):
     return build_latency_table(trace, cache_result, config)
 
 
-def compute_profiles(warps, latency_table, issue_rate: float):
+def compute_profiles(warps, latency_table, config: GPUConfig):
     """Interval profiles for an ordered slice of warp traces.
 
+    Interval-construction semantics are an architecture-backend hook
+    (``config.arch``); both shipped backends use the Eq. 4 scan.
     Batched across warps by default (``repro.core.interval_vec``);
     ``REPRO_SCALAR=1`` selects the per-warp reference scan.
     """
-    return build_interval_profiles(warps, latency_table, issue_rate)
+    from repro.arch import get_arch  # deferred: circular import
+
+    return get_arch(config.arch).build_interval_profiles(
+        warps, latency_table, config
+    )
 
 
 def compute_clustering(profiles, strategy: str):

@@ -1,8 +1,13 @@
 """Per-core issue logic of the timing oracle.
 
 Each core holds a queue of thread blocks, keeps up to ``warps_per_core``
-warps resident (block-granular residency, like real GPUs), and issues at
-most one warp-instruction per cycle chosen by the configured scheduler:
+warps resident (block-granular residency, like real GPUs), and issues
+through one or more *scheduler partitions* — the architecture backend
+(``repro.arch``) decides how many.  The paper's ``gpumech2014`` machine
+has a single partition holding every resident warp; the ``subcore``
+backend builds ``n_schedulers`` partitions (warp → partition by
+activation age, one issue slot each per cycle — sub-core dispatch).
+Within a partition the configured scheduler picks the issuing warp:
 
 * **RR** (round-robin): priority rotates to the warp after the last
   issuer; the first ready warp in rotation order issues.
@@ -129,6 +134,62 @@ class _WarpRun:
         self._refresh_ready()
 
 
+class _SchedulerPartition:
+    """One issue slot: a warp subset with its own scheduler state.
+
+    ``resident`` stays age-ordered (activation appends increasing ages,
+    retirement preserves relative order), so GTO's oldest-first fallback
+    is plain list order here just as it was core-wide.
+    """
+
+    __slots__ = ("resident", "rr_next", "gto_current")
+
+    def __init__(self) -> None:
+        self.resident: List[_WarpRun] = []
+        self.rr_next = 0
+        self.gto_current: Optional[_WarpRun] = None
+
+    def candidates_rr(self) -> List[_WarpRun]:
+        resident = self.resident
+        n = len(resident)
+        start = self.rr_next % n if n else 0
+        if not start:
+            # Returning the live list is safe: the scan in step() stops
+            # at the first issue, and _issue only mutates residency on
+            # the path that immediately moves to the next partition.
+            return resident
+        rotated = resident[start:]
+        rotated += resident[:start]
+        return rotated
+
+    def candidates_gto(self) -> List[_WarpRun]:
+        current = self.gto_current
+        if current is None or current.finished:
+            return self.resident
+        order = [current]
+        for run in self.resident:
+            if run is not current:
+                order.append(run)
+        return order
+
+    def note_issue(self, run: "_WarpRun", rr: bool) -> None:
+        """Update scheduler priority after ``run`` issued."""
+        if rr:
+            if run in self.resident:
+                self.rr_next = (self.resident.index(run) + 1) % max(
+                    len(self.resident), 1
+                )
+        else:
+            self.gto_current = run if not run.finished else None
+
+    def on_retired(self) -> None:
+        """Re-clamp priorities after warps left ``resident``."""
+        if self.rr_next >= len(self.resident):
+            self.rr_next = 0
+        if self.gto_current is not None and self.gto_current.finished:
+            self.gto_current = None
+
+
 class CoreModel:
     """One in-order SIMT core with private L1 and MSHR file."""
 
@@ -165,9 +226,15 @@ class CoreModel:
         self._resident_blocks: List[List[_WarpRun]] = []
         self._resident: List[_WarpRun] = []
         self._age_counter = 0
-        # Scheduler state.
-        self._rr_next = 0
-        self._gto_current: Optional[_WarpRun] = None
+        # Scheduler partitions (sub-core dispatch): the architecture
+        # backend decides how many issue slots the core has; warps are
+        # statically assigned to partitions by activation age.
+        from repro.arch import get_arch  # deferred: circular import
+
+        n_partitions = get_arch(config.arch).schedulers_per_core(config)
+        self._partitions = [
+            _SchedulerPartition() for _ in range(max(n_partitions, 1))
+        ]
         # A core's issue eligibility only changes with its own events
         # (dependency completions, MSHR releases), so after a failed scan
         # it can sleep until the earliest such event instead of rescanning
@@ -208,20 +275,23 @@ class CoreModel:
                 run.block_runs = runs
             self._resident_blocks.append(runs)
             self._resident.extend(runs)
+            n_partitions = len(self._partitions)
+            for run in runs:
+                self._partitions[run.age % n_partitions].resident.append(run)
 
     def _retire_blocks(self) -> None:
         """Release blocks whose warps all finished; admit new ones."""
         finished = [b for b in self._resident_blocks if all(w.finished for w in b)]
         if not finished:
             return
+        n_partitions = len(self._partitions)
         for block in finished:
             self._resident_blocks.remove(block)
             for run in block:
                 self._resident.remove(run)
-        if self._rr_next >= len(self._resident):
-            self._rr_next = 0
-        if self._gto_current is not None and self._gto_current.finished:
-            self._gto_current = None
+                self._partitions[run.age % n_partitions].resident.remove(run)
+        for partition in self._partitions:
+            partition.on_retired()
         self._activate_blocks()
 
     @property
@@ -366,37 +436,13 @@ class CoreModel:
 
     # Scheduling --------------------------------------------------------------
 
-    def _candidates_rr(self) -> List[_WarpRun]:
-        resident = self._resident
-        n = len(resident)
-        start = self._rr_next % n if n else 0
-        if not start:
-            # Returning the live list is safe: the scan in step() stops
-            # at the first issue, and _issue only mutates residency on
-            # the path that immediately returns.
-            return resident
-        rotated = resident[start:]
-        rotated += resident[:start]
-        return rotated
-
-    def _candidates_gto(self) -> List[_WarpRun]:
-        # _resident is always age-ordered: activation appends runs with
-        # increasing ages and retirement preserves relative order — so
-        # the per-step sort the scheduler used to do is a no-op.
-        current = self._gto_current
-        if current is None or current.finished:
-            return self._resident
-        order = [current]
-        for run in self._resident:
-            if run is not current:
-                order.append(run)
-        return order
-
     def step(self, now: float) -> bool:
-        """Attempt to issue one instruction at cycle ``now``.
+        """Attempt to issue instructions at cycle ``now``.
 
-        Returns True if an instruction issued.  Updates stall statistics
-        otherwise.
+        Every scheduler partition may issue at most one instruction
+        (``gpumech2014`` has a single partition, so at most one per core
+        — the paper's machine).  Returns True if anything issued;
+        updates stall statistics otherwise.
         """
         if self.finished:
             return False
@@ -413,32 +459,37 @@ class CoreModel:
         self.mshr.release_completed(now)
         self.stats.active_cycles += 1
         rr = self.config.scheduler == "rr"
-        candidates = self._candidates_rr() if rr else self._candidates_gto()
+        issued_any = False
         saw_mshr_stall = False
         saw_sfu_stall = False
         min_mshr_need = None
-        for run in candidates:
-            status = self._issue_check(run, now)
-            if status is IssueStatus.OK:
-                self._issue(run, now)
-                self.stats.issue_cycles += 1
-                self.stats.finish_cycle = now
-                if rr:
-                    if run in self._resident:
-                        self._rr_next = (self._resident.index(run) + 1) % max(
-                            len(self._resident), 1
-                        )
-                else:
-                    self._gto_current = run if not run.finished else None
-                return True
-            if status is IssueStatus.MSHR_STALL:
-                saw_mshr_stall = True
-                if min_mshr_need is None or self._last_mshr_need < min_mshr_need:
-                    min_mshr_need = self._last_mshr_need
-            elif status in (IssueStatus.SFU_STALL, IssueStatus.SMEM_STALL):
-                saw_sfu_stall = True
-            elif status is IssueStatus.BARRIER_STALL:
-                self.stats.barrier_stall_cycles += 1
+        for partition in self._partitions:
+            candidates = (
+                partition.candidates_rr() if rr
+                else partition.candidates_gto()
+            )
+            for run in candidates:
+                status = self._issue_check(run, now)
+                if status is IssueStatus.OK:
+                    self._issue(run, now)
+                    self.stats.finish_cycle = now
+                    partition.note_issue(run, rr)
+                    issued_any = True
+                    break
+                if status is IssueStatus.MSHR_STALL:
+                    saw_mshr_stall = True
+                    if (
+                        min_mshr_need is None
+                        or self._last_mshr_need < min_mshr_need
+                    ):
+                        min_mshr_need = self._last_mshr_need
+                elif status in (IssueStatus.SFU_STALL, IssueStatus.SMEM_STALL):
+                    saw_sfu_stall = True
+                elif status is IssueStatus.BARRIER_STALL:
+                    self.stats.barrier_stall_cycles += 1
+        if issued_any:
+            self.stats.issue_cycles += 1
+            return True
         if saw_mshr_stall:
             self.stats.mshr_stall_cycles += 1
             self._sleep_kind = IssueStatus.MSHR_STALL

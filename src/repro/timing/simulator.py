@@ -143,6 +143,7 @@ class TimingSimulator:
         stats = SimStats(
             kernel_name=trace.kernel_name,
             scheduler=config.scheduler,
+            arch=config.arch,
             total_cycles=total_cycles,
             total_insts=sum(core.stats.insts_issued for core in cores),
             n_cores_used=len(cores),

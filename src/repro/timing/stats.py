@@ -34,6 +34,8 @@ class SimStats:
 
     kernel_name: str
     scheduler: str
+    #: Architecture backend the oracle modeled (``GPUConfig.arch``).
+    arch: str = "gpumech2014"
     total_cycles: float = 0.0
     total_insts: int = 0
     n_cores_used: int = 0
