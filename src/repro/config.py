@@ -42,9 +42,12 @@ KNOWN_ARCHES = ("gpumech2014", "subcore")
 #: (``repro.pipeline``).  ``arch`` is here because independent-thread-
 #: scheduling reconvergence reorders divergent warps' dynamic streams;
 #: the scalar/vector *compute* backend (``repro.backend``) by contrast
-#: never changes the trace and is deliberately absent.
+#: never changes the trace and is deliberately absent.  ``simt_width``
+#: is absent too: validation pins it to ``warp_size``, so the emulator
+#: never reads it and keying on it would only double-count warp width
+#: (a fact ``repro.depcheck`` verifies statically and at runtime).
 TRACE_FIELDS: FrozenSet[str] = frozenset(
-    {"warp_size", "simt_width", "line_size", "smem_banks", "arch"}
+    {"warp_size", "line_size", "smem_banks", "arch"}
 )
 
 

@@ -1,0 +1,67 @@
+"""Cache-key soundness checking for the staged artifact pipeline.
+
+The content-addressed store (``repro.pipeline``) serves every stage
+artifact from a key built on the *declared* ``config_fields`` of its
+:class:`~repro.pipeline.stages.StageSpec`.  A stale declaration silently
+serves wrong cached results (a field the stage reads but never keys on);
+an over-broad one fragments the cache and wastes the hits the staged
+design exists to harvest.  ``repro.depcheck`` keeps the declarations
+honest with two complementary prongs, mirroring how ``xcheck``
+cross-validates the static cost model against the dynamic trace:
+
+* **Static pass** (:mod:`repro.depcheck.analyzer` /
+  :mod:`repro.depcheck.stagedeps`): an AST-based interprocedural
+  analysis walks each stage's implementation — following calls into
+  ``repro.core``, ``repro.trace``, ``repro.memory``, ``repro.timing``,
+  ``repro.arch`` and ``repro.staticcheck.costmodel`` — and infers the
+  set of :class:`~repro.config.GPUConfig` attributes actually read.
+  Diffing that against the declaration yields ``undeclared-read``
+  errors (stale-cache hazards) and ``over-declared-field`` warnings
+  (cache fragmentation).  The same walk verifies arch-dispatch
+  completeness: stage code must reach the architecture-specific model
+  functions only through the :class:`~repro.arch.base.ArchBackend`
+  interface.
+
+* **Runtime sanitizer** (:mod:`repro.depcheck.runtime`): with
+  ``REPRO_DEPCHECK=1`` the pipeline hands every stage an
+  access-recording :class:`~repro.config.GPUConfig` proxy and records
+  which fields each stage *actually* touched into ``depcheck.*``
+  metrics; :func:`check_runtime` cross-validates those observations
+  against the static result (a runtime read outside the statically
+  inferred set means the analyzer has a blind spot; one outside the
+  declared key coverage means a live stale-cache hazard).
+
+``repro depcheck`` runs the static pass (add ``--runtime`` for the
+sanitized suite sweep) and exits non-zero on any error, which is how CI
+gates on it.  See ``docs/staticcheck.md`` for the diagnostic catalog.
+"""
+
+from repro.depcheck.runtime import (
+    DEPCHECK_ENV,
+    AccessRecordingConfig,
+    check_runtime,
+    depcheck_enabled,
+    record_stage,
+    recorded_reads,
+    recording_config,
+)
+from repro.depcheck.stagedeps import (
+    DepDiagnostic,
+    DepcheckReport,
+    StageDepResult,
+    analyze_stage_deps,
+)
+
+__all__ = [
+    "AccessRecordingConfig",
+    "DEPCHECK_ENV",
+    "DepDiagnostic",
+    "DepcheckReport",
+    "StageDepResult",
+    "analyze_stage_deps",
+    "check_runtime",
+    "depcheck_enabled",
+    "record_stage",
+    "recorded_reads",
+    "recording_config",
+]

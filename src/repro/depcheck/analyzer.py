@@ -1,0 +1,772 @@
+"""Interprocedural GPUConfig-field inference over the stage closures.
+
+Given one or more *roots* (a function plus which of its parameters are
+bound to the configuration), the analyzer walks the call graph and
+returns every :class:`~repro.config.GPUConfig` field the closure can
+read.  The walk is flow-insensitive but *binding*-sensitive: a function
+is (re)analyzed per distinct abstraction of its config-carrying
+parameters, so ``build_latency_table(trace, cache_result, config)``
+contributes reads only through its ``config`` parameter.
+
+Tracked abstractions (:class:`Abstract`):
+
+``CONFIG``
+    A config expression (a bound parameter, a ``config = self.config``
+    alias, an attribute of a config-holding instance, ...).  Attribute
+    reads on it record fields; properties and methods of ``GPUConfig``
+    expand through a closure map computed from the config's own AST
+    (``dram_service_cycles`` -> ``{core_clock_ghz, line_size,
+    dram_bandwidth_gbps}``; anything using dynamic ``getattr`` maps to
+    all fields).
+
+``Instance(cls)`` / ``ListOf(cls)``
+    An object constructed with the config (or typed by annotation):
+    method calls resolve into ``cls`` (through indexed base classes),
+    ``self.<attr>`` resolves via the class's config/instance attribute
+    summaries, iteration and subscripts of ``ListOf`` yield instances.
+
+``ARCH``
+    The result of ``repro.arch.get_arch(...)``: a *union instance* over
+    every registered :class:`~repro.arch.base.ArchBackend` subclass, so
+    hook calls analyze each backend's override (or the base default).
+
+A config expression flowing somewhere the analyzer cannot follow — an
+argument of an unresolvable call with no same-named method anywhere in
+the index — is reported as an ``unresolved-config-flow`` finding rather
+than silently dropped: the analysis stays honest about its own
+coverage, and the runtime sanitizer (``REPRO_DEPCHECK=1``) backstops it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.depcheck.modindex import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleIndex,
+    _collect_imports,
+    _strip_wrappers,
+)
+
+# ---------------------------------------------------------------------------
+# Abstract values
+# ---------------------------------------------------------------------------
+
+CONFIG = "config"
+ARCH = "arch-union"
+UNKNOWN = None
+
+
+@dataclass(frozen=True)
+class Instance:
+    """An object of a known class holding the analyzed config."""
+
+    cls: str  # class qualname
+
+
+@dataclass(frozen=True)
+class ListOf:
+    """A homogeneous container of :class:`Instance`."""
+
+    cls: str
+
+
+def _join(a, b):
+    if a == b:
+        return a
+    if CONFIG in (a, b):
+        return CONFIG
+    if ARCH in (a, b):
+        return ARCH
+    return UNKNOWN
+
+
+# ---------------------------------------------------------------------------
+# GPUConfig member closure
+# ---------------------------------------------------------------------------
+
+
+def config_member_closure(
+    index: ModuleIndex, fields: Set[str]
+) -> Dict[str, Set[str]]:
+    """Field-set closure of every GPUConfig property/method.
+
+    Computed from the config's own AST: each member's direct ``self.X``
+    reads, with references to other members expanded transitively.
+    Members using dynamic access (``getattr``) or ``**`` expansion map
+    to the full field set (``fingerprint``, ``with_``).
+    """
+    cls = index.classes.get("repro.config.GPUConfig")
+    closure: Dict[str, Set[str]] = {}
+    if cls is None:  # pragma: no cover - index always has the config
+        return closure
+    direct: Dict[str, Set[str]] = {}
+    refs: Dict[str, Set[str]] = {}
+    for name, method in cls.methods.items():
+        reads: Set[str] = set()
+        member_refs: Set[str] = set()
+        dynamic = False
+        for node in ast.walk(method.node):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+            ):
+                if node.attr in fields:
+                    reads.add(node.attr)
+                else:
+                    member_refs.add(node.attr)
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Name
+            ) and node.func.id in ("getattr", "replace", "asdict"):
+                dynamic = True
+        if dynamic:
+            reads = set(fields)
+            member_refs = set()
+        direct[name] = reads
+        refs[name] = member_refs
+    for name in direct:
+        result = set(direct[name])
+        queue = list(refs[name])
+        seen = set()
+        while queue:
+            ref = queue.pop()
+            if ref in seen:
+                continue
+            seen.add(ref)
+            result |= direct.get(ref, set())
+            queue.extend(refs.get(ref, ()))
+        closure[name] = result
+    return closure
+
+
+# ---------------------------------------------------------------------------
+# Findings
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One analysis event worth surfacing (not yet a diagnostic)."""
+
+    kind: str  # "unresolved-config-flow" | "arch-bypass"
+    where: str  # "module.py:lineno"
+    detail: str
+
+
+@dataclass
+class ClosureResult:
+    """Everything one root-set walk produced."""
+
+    reads: Set[str] = field(default_factory=set)
+    findings: List[Finding] = field(default_factory=list)
+    #: Resolved call edges: (caller module, callee qualname, lineno).
+    call_edges: List[Tuple[str, str, int]] = field(default_factory=list)
+    visited: Set[Tuple[str, frozenset]] = field(default_factory=set)
+
+
+# ---------------------------------------------------------------------------
+# The analyzer
+# ---------------------------------------------------------------------------
+
+
+class ConfigFieldAnalyzer:
+    """Walk stage closures, accumulating config-field reads."""
+
+    #: Names whose calls construct a *fresh* config (reads on it belong
+    #: to that object, not the stage's key), so the result is not CONFIG.
+    _FRESH_CONFIG = {"GPUConfig"}
+
+    def __init__(self, index: ModuleIndex, fields: Set[str]):
+        self.index = index
+        self.fields = frozenset(fields)
+        self.member_closure = config_member_closure(index, set(fields))
+        base = index.classes.get("repro.arch.base.ArchBackend")
+        self._arch_classes: List[ClassInfo] = []
+        if base is not None:
+            self._arch_classes = [base] + [
+                index.classes[q]
+                for q in index.all_subclasses(base.qualname)
+                if q in index.classes
+            ]
+
+    # -- public entry -------------------------------------------------------
+
+    def analyze_roots(
+        self, roots: List[Tuple[FunctionInfo, Dict[str, object]]]
+    ) -> ClosureResult:
+        """Analyze a set of (function, parameter binding) roots."""
+        result = ClosureResult()
+        worklist = list(roots)
+        while worklist:
+            fn, binding = worklist.pop()
+            key = (
+                fn.qualname,
+                frozenset((k, repr(v)) for k, v in binding.items()),
+            )
+            if key in result.visited:
+                continue
+            result.visited.add(key)
+            self._analyze_function(fn, binding, result, worklist)
+        return result
+
+    # -- per-function walk --------------------------------------------------
+
+    def _analyze_function(self, fn, binding, result, worklist) -> None:
+        env: Dict[str, object] = dict(binding)
+        # Annotation augmentation: a parameter the caller did not bind
+        # but that is annotated with an indexed class (or GPUConfig) is
+        # trusted to carry such an object — within a stage closure there
+        # is exactly one configuration, so this is sound and lets
+        # artifact objects (LatencyTable, CacheSimResult, ...) resolve.
+        for param in fn.params():
+            if param in env or param in ("self", "cls"):
+                continue
+            annotation = fn.param_annotation(param)
+            stripped = _strip_wrappers(annotation)
+            if stripped == "GPUConfig":
+                env[param] = CONFIG
+            elif stripped and stripped[0].isupper():
+                resolved = self.index.resolve_name(fn.module, stripped)
+                if isinstance(resolved, ClassInfo):
+                    is_list = annotation.startswith(
+                        ("List[", "list[", "Sequence[", "Tuple[")
+                    )
+                    env[param] = (
+                        ListOf(resolved.qualname)
+                        if is_list
+                        else Instance(resolved.qualname)
+                    )
+        local_imports: Dict[str, str] = {}
+        _collect_imports(
+            [n for n in ast.walk(fn.node)
+             if isinstance(n, (ast.Import, ast.ImportFrom))],
+            local_imports,
+        )
+        walker = _FunctionWalker(
+            self, fn, env, local_imports, result, worklist
+        )
+        for stmt in fn.node.body:
+            walker.visit(stmt)
+
+
+class _FunctionWalker(ast.NodeVisitor):
+    """Single forward pass over one function body."""
+
+    def __init__(self, analyzer, fn, env, local_imports, result, worklist):
+        self.analyzer = analyzer
+        self.index = analyzer.index
+        self.fn = fn
+        self.env = env
+        self.local_imports = local_imports
+        self.result = result
+        self.worklist = worklist
+
+    # -- helpers ------------------------------------------------------------
+
+    def _where(self, node) -> str:
+        return "%s:%d" % (
+            self.fn.module.replace(".", "/") + ".py",
+            getattr(node, "lineno", 0),
+        )
+
+    def _record_read(self, name: str, node) -> None:
+        closure = self.analyzer.member_closure
+        if name in self.analyzer.fields:
+            self.result.reads.add(name)
+        elif name in closure:
+            self.result.reads |= closure[name]
+        else:
+            self.result.findings.append(
+                Finding(
+                    kind="unresolved-config-flow",
+                    where=self._where(node),
+                    detail="unknown GPUConfig attribute %r" % name,
+                )
+            )
+
+    def _enqueue(self, fn: FunctionInfo, binding: Dict[str, object],
+                 node) -> None:
+        self.result.call_edges.append(
+            (self.fn.module, fn.qualname, getattr(node, "lineno", 0))
+        )
+        if binding:
+            self.worklist.append((fn, binding))
+        else:
+            # No config flows in: still record the edge (for the arch-
+            # bypass check) but skip the body.
+            pass
+
+    def _bind_args(
+        self, fn: FunctionInfo, call: ast.Call, self_value=None
+    ) -> Dict[str, object]:
+        params = fn.params()
+        if params and params[0] in ("self", "cls"):
+            binding: Dict[str, object] = {}
+            if self_value is not None:
+                binding[params[0]] = self_value
+            positional = params[1:]
+        else:
+            binding = {}
+            positional = params
+        for i, arg in enumerate(call.args):
+            value = self.eval(arg)
+            if value is not UNKNOWN and i < len(positional):
+                binding[positional[i]] = value
+        for keyword in call.keywords:
+            if keyword.arg is None:
+                self.eval(keyword.value)
+                continue
+            value = self.eval(keyword.value)
+            if value is not UNKNOWN and keyword.arg in params:
+                binding[keyword.arg] = value
+        return binding
+
+    def _instance_for(self, cls: ClassInfo):
+        return Instance(cls.qualname)
+
+    def _resolve(self, dotted: str):
+        return self.index.resolve_name(
+            self.fn.module, dotted, self.local_imports
+        )
+
+    def _class_of(self, value) -> Optional[ClassInfo]:
+        if isinstance(value, Instance):
+            return self.index.classes.get(value.cls)
+        return None
+
+    def _annotation_value(self, text: str, module: Optional[str] = None):
+        """Abstract value for a (return) annotation, if class-typed.
+
+        ``module`` is the module the annotation was written in (defaults
+        to the function under analysis) — names resolve there.
+        """
+        stripped = _strip_wrappers(text)
+        if not stripped:
+            return UNKNOWN
+        if stripped in ("GPUConfig",):
+            return CONFIG
+        is_list = text.replace(" ", "").startswith(
+            ("List[", "list[", "Sequence[", "Tuple[")
+        )
+        resolved = self.index.resolve_name(
+            module or self.fn.module,
+            stripped,
+            self.local_imports if module is None else None,
+        )
+        if isinstance(resolved, ClassInfo):
+            return ListOf(resolved.qualname) if is_list else Instance(
+                resolved.qualname
+            )
+        return UNKNOWN
+
+    # -- expression evaluation ----------------------------------------------
+
+    def eval(self, node):  # noqa: C901 - a structured dispatch
+        if node is None:
+            return UNKNOWN
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id, UNKNOWN)
+        if isinstance(node, ast.Attribute):
+            return self._eval_attribute(node)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.IfExp):
+            self.eval(node.test)
+            return _join(self.eval(node.body), self.eval(node.orelse))
+        if isinstance(node, ast.BoolOp):
+            value = UNKNOWN
+            for operand in node.values:
+                value = _join(value, self.eval(operand))
+            return value
+        if isinstance(node, ast.Subscript):
+            value = self.eval(node.value)
+            self.eval(node.slice)
+            if isinstance(value, ListOf):
+                return Instance(value.cls)
+            return UNKNOWN
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            self._bind_comprehensions(node.generators)
+            element = self.eval(node.elt)
+            if isinstance(element, Instance):
+                return ListOf(element.cls)
+            return UNKNOWN
+        if isinstance(node, ast.DictComp):
+            self._bind_comprehensions(node.generators)
+            self.eval(node.key)
+            self.eval(node.value)
+            return UNKNOWN
+        if isinstance(node, ast.Lambda):
+            for default in node.args.defaults:
+                self.eval(default)
+            self.eval(node.body)
+            return UNKNOWN
+        if isinstance(node, ast.Starred):
+            return self.eval(node.value)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            values = [self.eval(e) for e in node.elts]
+            instances = {v.cls for v in values if isinstance(v, Instance)}
+            if len(instances) == 1 and values:
+                return ListOf(instances.pop())
+            return UNKNOWN
+        # Anything else: visit children so nested reads are not lost.
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.eval(child)
+        return UNKNOWN
+
+    def _bind_comprehensions(self, generators) -> None:
+        for comp in generators:
+            iterable = self.eval(comp.iter)
+            element = UNKNOWN
+            if isinstance(iterable, ListOf):
+                element = Instance(iterable.cls)
+            self._assign_target(comp.target, element)
+            for condition in comp.ifs:
+                self.eval(condition)
+
+    def _eval_attribute(self, node: ast.Attribute):
+        value = self.eval(node.value)
+        if value is CONFIG:
+            self._record_read(node.attr, node)
+            member = self.analyzer.member_closure.get(node.attr)
+            if member is not None and node.attr in ("with_",):
+                return CONFIG  # bound method; call returns a config
+            return UNKNOWN
+        if value is ARCH:
+            return UNKNOWN  # attribute data reads on backends are inert
+        cls = self._class_of(value)
+        if cls is not None:
+            if node.attr in cls.config_attrs:
+                return CONFIG
+            typed = cls.attr_types.get(node.attr)
+            if typed is not None:
+                kind, name = typed
+                resolved = self.index.resolve_name(cls.module, name)
+                if isinstance(resolved, ClassInfo):
+                    return (
+                        ListOf(resolved.qualname)
+                        if kind == "list"
+                        else Instance(resolved.qualname)
+                    )
+            # A property (or a bare method reference): analyze its body
+            # with self bound so reads through it are not lost.
+            target = self.index.find_method(cls, node.attr)
+            if target is not None:
+                self._enqueue(target, {"self": value}, node)
+                return self._annotation_value(
+                    target.return_annotation(), target.module
+                )
+            return UNKNOWN
+        # Module attribute (``repro.arch.get_arch``): nothing to record.
+        return UNKNOWN
+
+    def _eval_call(self, node: ast.Call):  # noqa: C901
+        func = node.func
+        # Direct name call -------------------------------------------------
+        if isinstance(func, ast.Name):
+            return self._call_named(func.id, node)
+        # Attribute call ---------------------------------------------------
+        if isinstance(func, ast.Attribute):
+            receiver = self.eval(func.value)
+            method = func.attr
+            if receiver is CONFIG:
+                self._record_read(method, node)
+                for arg in node.args:
+                    self.eval(arg)
+                for keyword in node.keywords:
+                    self.eval(keyword.value)
+                return CONFIG if method == "with_" else UNKNOWN
+            if receiver is ARCH:
+                return self._call_arch_hook(method, node)
+            cls = self._class_of(receiver)
+            if cls is not None:
+                target = self.index.find_method(cls, method)
+                if target is not None:
+                    binding = self._bind_args(
+                        target, node, self_value=receiver
+                    )
+                    self._enqueue(target, binding, node)
+                    return self._annotation_value(
+                        target.return_annotation(), target.module
+                    )
+                # Dataclass field access chains etc.: fall through.
+            # Module-qualified call (``math.ceil`` / ``repro.x.fn``) ---
+            if isinstance(func.value, ast.Name):
+                resolved = self._resolve(
+                    "%s.%s" % (func.value.id, method)
+                )
+                if resolved is not None:
+                    return self._dispatch_resolved(resolved, node)
+            return self._call_unresolved(method, node)
+        # Anything else (subscripted callables, lambdas) --------------------
+        self.eval(func)
+        for arg in node.args:
+            self.eval(arg)
+        for keyword in node.keywords:
+            self.eval(keyword.value)
+        return UNKNOWN
+
+    def _call_named(self, name: str, node: ast.Call):
+        if name == "getattr" and node.args:
+            value = self.eval(node.args[0])
+            if value is CONFIG:
+                # Dynamic field access: sound only as "everything".
+                self.result.reads |= set(self.analyzer.fields)
+            for arg in node.args[1:]:
+                self.eval(arg)
+            return UNKNOWN
+        if name in self.analyzer._FRESH_CONFIG:
+            for arg in node.args:
+                self.eval(arg)
+            for keyword in node.keywords:
+                self.eval(keyword.value)
+            return UNKNOWN  # a fresh config, not the stage's
+        resolved = self._resolve(name)
+        if resolved is not None:
+            return self._dispatch_resolved(resolved, node)
+        # Builtin / unindexed callable: evaluate arguments; a config
+        # argument to an unknown *named* builtin (min/len/float/...) is
+        # fine only if the builtin cannot read attributes — whitelist.
+        config_args = [
+            arg for arg in list(node.args)
+            + [k.value for k in node.keywords]
+            if self.eval(arg) is CONFIG
+        ]
+        if config_args and name not in (
+            "isinstance", "id", "bool", "print", "repr", "str", "hash",
+        ):
+            self.result.findings.append(
+                Finding(
+                    kind="unresolved-config-flow",
+                    where=self._where(node),
+                    detail="config passed to unresolved callable %r" % name,
+                )
+            )
+        return UNKNOWN
+
+    def _dispatch_resolved(self, resolved, node: ast.Call):
+        if isinstance(resolved, FunctionInfo):
+            if resolved.qualname.endswith(".get_arch"):
+                for arg in node.args:
+                    self.eval(arg)
+                return ARCH
+            binding = self._bind_args(resolved, node)
+            self._enqueue(resolved, binding, node)
+            return self._annotation_value(
+                resolved.return_annotation(), resolved.module
+            )
+        if isinstance(resolved, ClassInfo):
+            if resolved.qualname == "repro.config.GPUConfig":
+                for arg in node.args:
+                    self.eval(arg)
+                for keyword in node.keywords:
+                    self.eval(keyword.value)
+                return UNKNOWN  # a fresh config, not the stage's
+            init = self.index.find_method(resolved, "__init__")
+            instance = self._instance_for(resolved)
+            if init is not None:
+                binding = self._bind_args(init, node, self_value=instance)
+                self._enqueue(init, binding, node)
+            else:
+                self.result.call_edges.append(
+                    (
+                        self.fn.module,
+                        resolved.qualname,
+                        getattr(node, "lineno", 0),
+                    )
+                )
+                for arg in node.args:
+                    self.eval(arg)
+                for keyword in node.keywords:
+                    self.eval(keyword.value)
+            return instance
+        # A module name or unknown string: evaluate args defensively.
+        for arg in node.args:
+            self.eval(arg)
+        for keyword in node.keywords:
+            self.eval(keyword.value)
+        return UNKNOWN
+
+    def _call_arch_hook(self, method: str, node: ast.Call):
+        """Union-dispatch a method over every registered backend."""
+        returns = UNKNOWN
+        found = False
+        for cls in self.analyzer._arch_classes:
+            target = self.index.find_method(cls, method)
+            if target is None:
+                continue
+            found = True
+            # self binds to the *dispatching* class so further hook
+            # calls inside a base default reach the subclass override.
+            binding = self._bind_args(
+                target, node, self_value=Instance(cls.qualname)
+            )
+            self._enqueue(target, binding, node)
+            returns = _join(
+                returns,
+                self._annotation_value(
+                    target.return_annotation(), target.module
+                ),
+            )
+        if not found:
+            self.result.findings.append(
+                Finding(
+                    kind="unresolved-config-flow",
+                    where=self._where(node),
+                    detail="unknown ArchBackend hook %r" % method,
+                )
+            )
+        return returns
+
+    def _call_unresolved(self, method: str, node: ast.Call):
+        """Attribute call on an untyped receiver.
+
+        If a config expression flows in as an argument, fall back to
+        analyzing *every* indexed method with that name (sound as long
+        as the name exists somewhere); with no candidates, report the
+        escape.
+        """
+        arg_values = [self.eval(arg) for arg in node.args]
+        kw_values = [(k.arg, self.eval(k.value)) for k in node.keywords]
+        carries_config = CONFIG in arg_values or any(
+            v is CONFIG for _, v in kw_values
+        )
+        if not carries_config:
+            return UNKNOWN
+        candidates = self.index.methods_named(method)
+        if not candidates:
+            self.result.findings.append(
+                Finding(
+                    kind="unresolved-config-flow",
+                    where=self._where(node),
+                    detail="config passed to unresolvable method %r" % method,
+                )
+            )
+            return UNKNOWN
+        for target in candidates:
+            binding = self._bind_args(
+                target, node, self_value=Instance(target.cls.qualname)
+            )
+            self._enqueue(target, binding, node)
+        return UNKNOWN
+
+    # -- statements ---------------------------------------------------------
+
+    def _assign_target(self, target, value) -> None:
+        if isinstance(target, ast.Name):
+            if value is UNKNOWN:
+                self.env.pop(target.id, None)
+            else:
+                self.env[target.id] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._assign_target(element, UNKNOWN)
+        elif isinstance(target, (ast.Attribute, ast.Subscript)):
+            self.eval(target.value)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        value = self.eval(node.value)
+        for target in node.targets:
+            if isinstance(target, (ast.Tuple, ast.List)) and isinstance(
+                node.value, ast.Tuple
+            ) and len(target.elts) == len(node.value.elts):
+                for t, v in zip(target.elts, node.value.elts):
+                    self._assign_target(t, self.eval(v))
+            else:
+                self._assign_target(target, value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        value = self.eval(node.value) if node.value else UNKNOWN
+        if value is UNKNOWN and node.value is None:
+            # Declaration only: trust the annotation for locals.
+            value = self._annotation_value(
+                _strip_annotation(node.annotation)
+            )
+        self._assign_target(node.target, value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self.eval(node.value)
+        self._assign_target(node.target, UNKNOWN)
+
+    def visit_Return(self, node: ast.Return) -> None:
+        self.eval(node.value)
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        self.eval(node.value)
+
+    def visit_For(self, node: ast.For) -> None:
+        iterable = self.eval(node.iter)
+        element = UNKNOWN
+        if isinstance(iterable, ListOf):
+            element = Instance(iterable.cls)
+        self._assign_target(node.target, element)
+        for stmt in node.body:
+            self.visit(stmt)
+        for stmt in node.orelse:
+            self.visit(stmt)
+
+    def visit_While(self, node: ast.While) -> None:
+        self.eval(node.test)
+        for stmt in node.body + node.orelse:
+            self.visit(stmt)
+
+    def visit_If(self, node: ast.If) -> None:
+        self.eval(node.test)
+        for stmt in node.body + node.orelse:
+            self.visit(stmt)
+
+    def visit_With(self, node: ast.With) -> None:
+        for item in node.items:
+            self.eval(item.context_expr)
+            if item.optional_vars is not None:
+                self._assign_target(item.optional_vars, UNKNOWN)
+        for stmt in node.body:
+            self.visit(stmt)
+
+    def visit_Try(self, node: ast.Try) -> None:
+        for stmt in (
+            node.body + node.orelse + node.finalbody
+            + [s for h in node.handlers for s in h.body]
+        ):
+            self.visit(stmt)
+
+    def visit_Raise(self, node: ast.Raise) -> None:
+        self.eval(node.exc)
+        self.eval(node.cause)
+
+    def visit_Assert(self, node: ast.Assert) -> None:
+        self.eval(node.test)
+        self.eval(node.msg)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # Nested defs close over the enclosing environment; analyze the
+        # body inline (sound over-approximation: we assume it runs).
+        for default in node.args.defaults:
+            self.eval(default)
+        for stmt in node.body:
+            self.visit(stmt)
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Import(self, node: ast.Import) -> None:
+        pass  # already collected into local_imports
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        pass
+
+    def generic_visit(self, node) -> None:
+        if isinstance(node, ast.expr):
+            self.eval(node)
+        else:
+            super().generic_visit(node)
+
+
+def _strip_annotation(node) -> str:
+    try:
+        return ast.unparse(node).replace('"', "").replace("'", "")
+    except Exception:  # pragma: no cover
+        return ""

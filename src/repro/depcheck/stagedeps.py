@@ -1,0 +1,495 @@
+"""Stage-level dependency soundness: inference roots, diff, reports.
+
+This module knows *what the pipeline actually keys on* and turns the
+raw closure analysis of :mod:`repro.depcheck.analyzer` into per-stage
+verdicts.  The central subtlety is **keyed-input coverage**: a stage
+whose cache key folds in an upstream artifact's key (``StageSpec.
+effective_key_inputs``) is automatically invalidated whenever any
+config field covered by that upstream key changes — so such fields
+never need to appear in the stage's own ``config_fields``.  ``predict``
+is the cautionary tale: its key includes only the *trace* key, while
+its inputs (cache result, latency table, profiles, clustering) are
+passed in as unkeyed objects, so every field those artifacts depend on
+must be declared directly (see ``PREDICT_FIELDS``).
+
+Diagnostics (check ids):
+
+``depcheck-undeclared-read`` (ERROR)
+    The closure reads a field outside declared ∪ keyed coverage: a
+    config override could leave a stale artifact serving wrong results.
+``depcheck-over-declared`` (WARNING)
+    A declared field the closure never reads: harmless for correctness
+    but it fragments the cache (needless invalidations on override).
+``depcheck-unresolved-flow`` (ERROR)
+    A config expression escaped the analysis (unknown attribute, call
+    the walker could not resolve): the inference cannot vouch for the
+    stage until the flow is made analyzable.
+``depcheck-arch-bypass`` (ERROR)
+    Stage code calls an architecture-hook implementation directly
+    instead of dispatching through :class:`~repro.arch.base.ArchBackend`.
+``depcheck-runtime-escape`` / ``depcheck-runtime-unsound`` (ERROR)
+    Runtime-sanitizer verdicts — see :func:`repro.depcheck.runtime.
+    check_runtime`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.config import ALL_FIELDS
+from repro.depcheck.analyzer import (
+    CONFIG,
+    ClosureResult,
+    ConfigFieldAnalyzer,
+    Instance,
+)
+from repro.depcheck.modindex import ModuleIndex
+from repro.staticcheck.report import Severity
+
+#: Stage -> analysis roots: (callable qualname, {param: abstract value}).
+#: ``"config"`` marks the configuration parameter; ``instance:<class>``
+#: binds an artifact object of that class (so reads through it count).
+#: ``predict`` roots at the model facade plus the one unkeyed input
+#: computed outside any stage (``avg_miss_latency``).
+STAGE_ROOTS: Dict[str, List[Tuple[str, Dict[str, str]]]] = {
+    "lint": [
+        ("repro.pipeline.stages.compute_lint", {}),
+    ],
+    "trace": [
+        ("repro.pipeline.stages.compute_trace", {"config": "config"}),
+    ],
+    "costmodel": [
+        ("repro.pipeline.stages.compute_costmodel", {"config": "config"}),
+    ],
+    "xcheck": [
+        ("repro.pipeline.stages.compute_xcheck", {"config": "config"}),
+    ],
+    "cache_sim": [
+        ("repro.pipeline.stages.compute_cache_sim", {"config": "config"}),
+    ],
+    "latency_table": [
+        (
+            "repro.pipeline.stages.compute_latency_table",
+            {
+                "config": "config",
+                "cache_result":
+                    "instance:repro.memory.cache_simulator.CacheSimResult",
+                "trace": "instance:repro.trace.trace_types.KernelTrace",
+            },
+        ),
+    ],
+    "interval_profiles": [
+        (
+            "repro.pipeline.stages.compute_profiles",
+            {
+                "config": "config",
+                "latency_table":
+                    "instance:repro.core.latency.LatencyTable",
+            },
+        ),
+    ],
+    "clustering": [
+        ("repro.pipeline.stages.compute_clustering", {}),
+    ],
+    "predict": [
+        (
+            "repro.core.model.GPUMech.predict",
+            {
+                "self": "instance:repro.core.model.GPUMech",
+                "inputs": "instance:repro.core.model.ModelInputs",
+            },
+        ),
+        # ``ModelInputs.avg_miss_latency`` is computed by
+        # ``Pipeline.model_inputs_from_trace`` outside any keyed stage
+        # and consumed by predict — its reads belong to predict's key.
+        (
+            "repro.memory.cache_simulator.CacheSimResult.avg_miss_latency",
+            {
+                "self":
+                    "instance:repro.memory.cache_simulator.CacheSimResult",
+                "config": "config",
+            },
+        ),
+        (
+            "repro.core.model.resident_warps_per_core",
+            {"config": "config"},
+        ),
+    ],
+    "oracle": [
+        ("repro.pipeline.stages.compute_oracle", {"config": "config"}),
+    ],
+}
+
+
+
+# ---------------------------------------------------------------------------
+# Diagnostics and reports (mirrors repro.staticcheck.report)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DepDiagnostic:
+    """One depcheck finding, tied to a pipeline stage."""
+
+    stage: str
+    check_id: str
+    severity: Severity
+    message: str
+    where: str = ""
+
+    def render(self) -> str:
+        location = " (%s)" % self.where if self.where else ""
+        return "%s: [%s] %s: %s%s" % (
+            self.severity.value,
+            self.check_id,
+            self.stage,
+            self.message,
+            location,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "stage": self.stage,
+            "check_id": self.check_id,
+            "severity": self.severity.value,
+            "message": self.message,
+            "where": self.where,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DepDiagnostic":
+        return cls(
+            stage=data["stage"],
+            check_id=data["check_id"],
+            severity=Severity(data["severity"]),
+            message=data["message"],
+            where=data.get("where", ""),
+        )
+
+
+@dataclass(frozen=True)
+class StageDepResult:
+    """Inference outcome for one stage."""
+
+    stage: str
+    declared: FrozenSet[str]
+    inferred: FrozenSet[str]
+    #: Fields covered by upstream artifact keys folded into this key.
+    keyed_coverage: FrozenSet[str]
+    #: Fields upstream artifacts this stage consumes depend on that its
+    #: key does NOT fold in — they must be declared directly (predict's
+    #: unkeyed latency/cache/profile inputs are the canonical case).
+    unkeyed_coverage: FrozenSet[str] = frozenset()
+
+    @property
+    def required(self) -> FrozenSet[str]:
+        """Fields this stage's key must be sensitive to."""
+        return self.inferred | self.unkeyed_coverage
+
+    @property
+    def undeclared(self) -> FrozenSet[str]:
+        return self.required - self.declared - self.keyed_coverage
+
+    @property
+    def over_declared(self) -> FrozenSet[str]:
+        return self.declared - self.required
+
+    @property
+    def effective_coverage(self) -> FrozenSet[str]:
+        """Every field a change of which invalidates this stage's key."""
+        return self.declared | self.keyed_coverage
+
+    def to_dict(self) -> dict:
+        return {
+            "stage": self.stage,
+            "declared": sorted(self.declared),
+            "inferred": sorted(self.inferred),
+            "keyed_coverage": sorted(self.keyed_coverage),
+            "unkeyed_coverage": sorted(self.unkeyed_coverage),
+            "undeclared": sorted(self.undeclared),
+            "over_declared": sorted(self.over_declared),
+        }
+
+
+@dataclass
+class DepcheckReport:
+    """Full result of a depcheck pass (static, runtime, or both)."""
+
+    stages: List[StageDepResult] = field(default_factory=list)
+    diagnostics: List[DepDiagnostic] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[DepDiagnostic]:
+        return [d for d in self.diagnostics
+                if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[DepDiagnostic]:
+        return [d for d in self.diagnostics
+                if d.severity is Severity.WARNING]
+
+    @property
+    def has_errors(self) -> bool:
+        return bool(self.errors)
+
+    def stage_result(self, stage: str) -> Optional[StageDepResult]:
+        for result in self.stages:
+            if result.stage == stage:
+                return result
+        return None
+
+    def render_text(self) -> str:
+        lines = []
+        for result in self.stages:
+            lines.append(
+                "%-17s declared=%-2d inferred=%-2d keyed=%-2d%s"
+                % (
+                    result.stage,
+                    len(result.declared),
+                    len(result.inferred),
+                    len(result.keyed_coverage),
+                    "" if not result.undeclared else
+                    "  UNDECLARED: " + ", ".join(sorted(result.undeclared)),
+                )
+            )
+        if not self.diagnostics:
+            lines.append("depcheck: clean (%d stages)" % len(self.stages))
+        else:
+            for diagnostic in self.diagnostics:
+                lines.append(diagnostic.render())
+            lines.append(
+                "depcheck: %d error(s), %d warning(s)"
+                % (len(self.errors), len(self.warnings))
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "stages": [s.to_dict() for s in self.stages],
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "n_errors": len(self.errors),
+            "n_warnings": len(self.warnings),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+# ---------------------------------------------------------------------------
+# The static pass
+# ---------------------------------------------------------------------------
+
+
+def _parse_binding(spec: Dict[str, str]):
+    binding = {}
+    for param, value in spec.items():
+        if value == "config":
+            binding[param] = CONFIG
+        elif value.startswith("instance:"):
+            binding[param] = Instance(value[len("instance:"):])
+    return binding
+
+
+def _keyed_coverage(
+    stage: str, declared: Dict[str, FrozenSet[str]]
+) -> FrozenSet[str]:
+    """Fields covered transitively by the keys folded into ``stage``."""
+    from repro.pipeline.stages import STAGES
+
+    seen: Set[str] = set()
+    fields: Set[str] = set()
+    queue = list(STAGES[stage].effective_key_inputs)
+    while queue:
+        upstream = queue.pop()
+        if upstream in seen:
+            continue
+        seen.add(upstream)
+        fields |= declared.get(upstream, frozenset())
+        queue.extend(STAGES[upstream].effective_key_inputs)
+    return frozenset(fields)
+
+
+def _sensitivities(
+    declared: Dict[str, FrozenSet[str]]
+) -> Dict[str, FrozenSet[str]]:
+    """Full config sensitivity of each stage's *artifact*: its own
+    declaration plus, transitively, that of everything it consumes.
+    (``STAGES`` is in topological order, so one pass suffices.)"""
+    from repro.pipeline.stages import STAGES
+
+    sensitivity: Dict[str, FrozenSet[str]] = {}
+    for name, spec in STAGES.items():
+        fields = set(declared.get(name, frozenset()))
+        for upstream in spec.inputs:
+            fields |= sensitivity[upstream]
+        sensitivity[name] = frozenset(fields)
+    return sensitivity
+
+
+def infer_stage_reads(
+    index: Optional[ModuleIndex] = None,
+) -> Dict[str, ClosureResult]:
+    """Run the closure analysis for every stage; returns raw results."""
+    if index is None:
+        index = ModuleIndex.build()
+    analyzer = ConfigFieldAnalyzer(index, set(ALL_FIELDS))
+    results: Dict[str, ClosureResult] = {}
+    for stage, roots in STAGE_ROOTS.items():
+        resolved_roots = []
+        for qualname, binding_spec in roots:
+            fn = index.functions.get(qualname)
+            if fn is None:
+                raise LookupError(
+                    "depcheck stage root %r not found in the module index "
+                    "(stage %r) — update STAGE_ROOTS" % (qualname, stage)
+                )
+            resolved_roots.append(
+                (fn, _parse_binding(binding_spec))
+            )
+        results[stage] = analyzer.analyze_roots(resolved_roots)
+    return results
+
+
+def _hook_implementations(index: ModuleIndex) -> Dict[str, str]:
+    """Qualnames of functions/classes ArchBackend hooks delegate to.
+
+    Derived from the arch package itself: every call inside an
+    ``ArchBackend`` (or subclass) method body that resolves to a
+    definition *outside* ``repro.arch`` is a hook implementation —
+    stage code must reach those only through the backend interface.
+    Maps impl qualname -> the hook method that owns it.
+    """
+    import ast as _ast
+
+    impls: Dict[str, str] = {}
+    base = index.classes.get("repro.arch.base.ArchBackend")
+    if base is None:  # pragma: no cover - the repo always has it
+        return impls
+    classes = [base] + [
+        index.classes[q]
+        for q in index.all_subclasses(base.qualname)
+        if q in index.classes
+    ]
+    for cls in classes:
+        for method in cls.methods.values():
+            for node in _ast.walk(method.node):
+                if not (
+                    isinstance(node, _ast.Call)
+                    and isinstance(node.func, _ast.Name)
+                ):
+                    continue
+                resolved = index.resolve_name(cls.module, node.func.id)
+                qualname = getattr(resolved, "qualname", None)
+                if qualname and not qualname.startswith("repro.arch."):
+                    impls.setdefault(qualname, method.qualname)
+    return impls
+
+
+def _arch_bypass_diagnostics(
+    index: ModuleIndex, results: Dict[str, ClosureResult]
+) -> List[DepDiagnostic]:
+    impls = _hook_implementations(index)
+    diagnostics = []
+    seen = set()
+    for stage, closure in results.items():
+        for caller_module, target, lineno in closure.call_edges:
+            if target not in impls:
+                continue
+            if caller_module.startswith("repro.arch"):
+                continue  # the interface itself
+            if target.rsplit(".", 1)[0] == caller_module:
+                continue  # a module may call its own definitions
+            key = (stage, caller_module, target, lineno)
+            if key in seen:
+                continue
+            seen.add(key)
+            diagnostics.append(
+                DepDiagnostic(
+                    stage=stage,
+                    check_id="depcheck-arch-bypass",
+                    severity=Severity.ERROR,
+                    message=(
+                        "calls %s directly (owned by %s); dispatch "
+                        "through get_arch(config.arch) instead"
+                        % (target, impls[target])
+                    ),
+                    where="%s:%d" % (
+                        caller_module.replace(".", "/") + ".py", lineno
+                    ),
+                )
+            )
+    return diagnostics
+
+
+def analyze_stage_deps(
+    index: Optional[ModuleIndex] = None,
+) -> DepcheckReport:
+    """The full static pass: infer, diff against declarations, verify
+    arch dispatch; returns a :class:`DepcheckReport`."""
+    from repro.pipeline.stages import STAGES
+
+    if index is None:
+        index = ModuleIndex.build()
+    results = infer_stage_reads(index)
+    declared = {
+        name: frozenset(spec.config_fields) for name, spec in STAGES.items()
+    }
+    sensitivity = _sensitivities(declared)
+    report = DepcheckReport()
+    for stage in STAGES:
+        closure = results.get(stage)
+        if closure is None:  # a stage with no analyzable root
+            continue
+        keyed = _keyed_coverage(stage, declared)
+        consumed: Set[str] = set()
+        for upstream in STAGES[stage].inputs:
+            consumed |= sensitivity[upstream]
+        result = StageDepResult(
+            stage=stage,
+            declared=declared[stage],
+            inferred=frozenset(closure.reads),
+            keyed_coverage=keyed,
+            unkeyed_coverage=frozenset(consumed) - keyed,
+        )
+        report.stages.append(result)
+        for fname in sorted(result.undeclared):
+            report.diagnostics.append(
+                DepDiagnostic(
+                    stage=stage,
+                    check_id="depcheck-undeclared-read",
+                    severity=Severity.ERROR,
+                    message=(
+                        "reads config.%s but neither declares it nor "
+                        "covers it through a keyed input — a %s override "
+                        "would serve a stale cached artifact"
+                        % (fname, fname)
+                    ),
+                )
+            )
+        for fname in sorted(result.over_declared):
+            report.diagnostics.append(
+                DepDiagnostic(
+                    stage=stage,
+                    check_id="depcheck-over-declared",
+                    severity=Severity.WARNING,
+                    message=(
+                        "declares config.%s but never reads it — "
+                        "overrides of %s needlessly invalidate this "
+                        "stage's artifacts" % (fname, fname)
+                    ),
+                )
+            )
+        for finding in closure.findings:
+            report.diagnostics.append(
+                DepDiagnostic(
+                    stage=stage,
+                    check_id="depcheck-unresolved-flow",
+                    severity=Severity.ERROR,
+                    message=finding.detail,
+                    where=finding.where,
+                )
+            )
+    report.diagnostics.extend(_arch_bypass_diagnostics(index, results))
+    return report

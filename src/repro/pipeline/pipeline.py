@@ -45,6 +45,11 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.backend import BACKEND_STAGES, current_backend
 from repro.config import GPUConfig
+from repro.depcheck.runtime import (
+    depcheck_enabled,
+    record_stage,
+    recording_config,
+)
 from repro.obs.metrics import MetricsRegistry, diff_snapshots
 from repro.obs.tracer import Tracer, get_tracer
 from repro.pipeline.stages import (
@@ -217,7 +222,18 @@ class Pipeline:
             span_args["trace.backend"] = backend
         with self.tracer.span(stage, category="stage", args=span_args):
             start = time.perf_counter()
-            artifact = compute()
+            if depcheck_enabled():
+                # Sanitizer window: attribute config-proxy reads to this
+                # stage (keys/fingerprints were computed before this
+                # point, so only genuine compute reads land here).
+                with record_stage(stage) as reads:
+                    artifact = compute()
+                for field_name in sorted(reads):
+                    self.metrics.counter(
+                        "depcheck.field_reads", stage=stage, field=field_name
+                    ).inc()
+            else:
+                artifact = compute()
             elapsed = time.perf_counter() - start
         metrics = self.metrics
         metrics.counter("pipeline.stage_executions", stage=stage).inc()
@@ -250,6 +266,8 @@ class Pipeline:
         config = config if config is not None else self.config
         if policy is not None and policy != config.scheduler:
             config = config.with_(scheduler=policy)
+        if depcheck_enabled():
+            config = recording_config(config)
         return config
 
     # -- stage accessors ----------------------------------------------------

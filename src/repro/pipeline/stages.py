@@ -85,18 +85,73 @@ COSTMODEL_FIELDS: FrozenSet[str] = frozenset(
     }
 )
 
+#: Cross-check config dependencies beyond what the trace and costmodel
+#: keys (both folded into the xcheck key) already cover: the collector
+#: comparisons themselves read only the warp width.
+XCHECK_FIELDS: FrozenSet[str] = frozenset({"warp_size"})
+
+#: Analytical-model config dependencies.  ``predict``'s key folds in
+#: only the *trace* key, while its other inputs (cache result, latency
+#: table, profiles, clustering) arrive as unkeyed objects — so their
+#: field coverage must be declared here directly, alongside the reads
+#: of the multi-warp model itself (scheduler policy, arch dispatch,
+#: residency, and the Sec. IV-B contention parameters).  Everything in
+#: ``ALL_FIELDS`` except ``simt_width`` (pinned to ``warp_size`` by
+#: validation) and the scratchpad geometry (``smem_size`` /
+#: ``smem_banks``, baked into the trace's conflict degrees).
+PREDICT_FIELDS: FrozenSet[str] = (
+    CACHE_SIM_FIELDS
+    | LATENCY_FIELDS
+    | PROFILE_FIELDS
+    | frozenset(
+        {
+            "scheduler",
+            "arch",
+            "n_schedulers",
+            "n_sfu_units",
+            "n_mshrs",
+            "n_dram_channels",
+            "core_clock_ghz",
+            "dram_bandwidth_gbps",
+        }
+    )
+)
+
+#: Timing-oracle config dependencies: the cycle-level simulator reads
+#: the whole machine description except ``simt_width`` (pinned to
+#: ``warp_size``), ``issue_width`` (pinned to 1 — single-issue cores),
+#: and the scratchpad geometry already serialized into the trace.
+ORACLE_FIELDS: FrozenSet[str] = ALL_FIELDS - frozenset(
+    {"simt_width", "issue_width", "smem_size", "smem_banks"}
+)
+
 
 @dataclass(frozen=True)
 class StageSpec:
     """One node of the pipeline DAG."""
 
     name: str
-    #: Upstream stage names whose artifact keys feed this stage's key.
+    #: Upstream stage names this stage consumes artifacts from.
     inputs: Tuple[str, ...]
-    #: GPUConfig fields this stage reads; the key includes only their
-    #: fingerprint, so overrides of other fields leave artifacts valid.
+    #: GPUConfig fields this stage reads *beyond* what its keyed inputs
+    #: already cover; the key includes only their fingerprint, so
+    #: overrides of other fields leave artifacts valid.
     config_fields: FrozenSet[str]
     description: str = ""
+    #: Upstream stages whose artifact *keys* are folded into this
+    #: stage's key (``None``: all of ``inputs``).  A stage is
+    #: automatically invalidated by any config field covered by these
+    #: keys, transitively — the coverage ``repro.depcheck`` verifies.
+    #: ``predict`` narrows this to ``("trace",)``: its key carries only
+    #: the trace key, so everything its unkeyed inputs (cache result,
+    #: latency table, profiles, clustering) read must be declared in
+    #: ``config_fields`` directly.
+    key_inputs: Optional[Tuple[str, ...]] = None
+
+    @property
+    def effective_key_inputs(self) -> Tuple[str, ...]:
+        """The upstream keys actually folded into this stage's key."""
+        return self.inputs if self.key_inputs is None else self.key_inputs
 
 
 #: The pipeline DAG in topological order.
@@ -124,7 +179,7 @@ STAGES = {
         StageSpec(
             "xcheck",
             inputs=("trace", "costmodel"),
-            config_fields=TRACE_FIELDS,
+            config_fields=XCHECK_FIELDS,
             description="cross-validation of dynamic trace vs static facts",
         ),
         StageSpec(
@@ -154,13 +209,14 @@ STAGES = {
         StageSpec(
             "predict",
             inputs=("clustering",),
-            config_fields=ALL_FIELDS,
+            config_fields=PREDICT_FIELDS,
             description="multi-warp analytical model (Eq. 3/17)",
+            key_inputs=("trace",),
         ),
         StageSpec(
             "oracle",
             inputs=("trace",),
-            config_fields=ALL_FIELDS,
+            config_fields=ORACLE_FIELDS,
             description="cycle-level timing simulation",
         ),
     )

@@ -255,6 +255,13 @@ class CoreModel:
         # its conflict degree, blocking other scratchpad accesses.
         self._smem_free_at = 0.0
         self._smem_latency = float(config.smem_latency)
+        # Hoisted per-cycle/per-request config reads (step and the issue
+        # helpers run once per cycle / memory instruction).
+        self._rr = config.scheduler == "rr"
+        self._l1_latency = float(config.l1_latency)
+        self._l2_latency = float(config.l2_latency)
+        self._dram_latency = float(config.dram_latency)
+        self._sfu_service_cycles = float(config.sfu_service_cycles)
         self._activate_blocks()
 
     # Residency -------------------------------------------------------------
@@ -383,7 +390,7 @@ class CoreModel:
         else:
             completion = now + self._latency[op]
             if op == _SFU and self._sfu_limited:
-                self._sfu_free_at = now + self.config.sfu_service_cycles
+                self._sfu_free_at = now + self._sfu_service_cycles
         run.complete_at(completion)
         self.stats.insts_issued += 1
         if run.finished:
@@ -391,13 +398,12 @@ class CoreModel:
 
     def _issue_load(self, run: _WarpRun, index: int, now: float) -> float:
         """Walk every coalesced request through L1/MSHR/L2/DRAM."""
-        config = self.config
         completion = 0.0
         for line in run.requests(index):
             if self.l1.access(line):
                 # Tag hit; if the line's fill is still in flight this is a
                 # pending hit and completes when the original miss returns.
-                t = now + config.l1_latency
+                t = now + self._l1_latency
                 pending = self.mshr.lookup(line)
                 if pending is not None and pending > t:
                     t = pending
@@ -407,11 +413,12 @@ class CoreModel:
                     t = merged
                 else:
                     if self.l2.access(line):
-                        completion = now + config.l2_latency
+                        completion = now + self._l2_latency
                     else:
-                        arrival = now + config.l2_latency
+                        arrival = now + self._l2_latency
                         completion = (
-                            self.dram.enqueue(arrival, line) + config.dram_latency
+                            self.dram.enqueue(arrival, line)
+                            + self._dram_latency
                         )
                     try:
                         t = self.mshr.allocate(line, completion)
@@ -428,11 +435,10 @@ class CoreModel:
 
     def _issue_store(self, run: _WarpRun, index: int, now: float) -> None:
         """Write-through store: probes caches, always consumes DRAM bus."""
-        config = self.config
         for line in run.requests(index):
             self.l1.access(line, is_write=True)
             self.l2.access(line, is_write=True)
-            self.dram.enqueue(now + config.l2_latency, line)
+            self.dram.enqueue(now + self._l2_latency, line)
 
     # Scheduling --------------------------------------------------------------
 
@@ -458,7 +464,7 @@ class CoreModel:
             return False
         self.mshr.release_completed(now)
         self.stats.active_cycles += 1
-        rr = self.config.scheduler == "rr"
+        rr = self._rr
         issued_any = False
         saw_mshr_stall = False
         saw_sfu_stall = False

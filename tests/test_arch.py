@@ -106,9 +106,10 @@ class TestCacheKeys:
         assert SUBCORE.fingerprint(ALL_FIELDS) != SUBCORE.with_(
             n_schedulers=4
         ).fingerprint(ALL_FIELDS)
-        # ...but the trace does not depend on the partition count.
+        # ...but the trace does not depend on the partition count (nor
+        # on simt_width, which validation pins to warp_size).
         assert TRACE_FIELDS == frozenset(
-            {"warp_size", "simt_width", "line_size", "smem_banks", "arch"}
+            {"warp_size", "line_size", "smem_banks", "arch"}
         )
 
     def test_fingerprint_ignores_compute_backend(self, monkeypatch):

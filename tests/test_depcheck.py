@@ -1,0 +1,431 @@
+"""Tests for the cache-key soundness subsystem (``repro.depcheck``).
+
+Three layers:
+
+* the diff/report machinery on synthetic :class:`StageDepResult`s;
+* the static pass against the real repository (the CI gate: zero
+  diagnostics, exact per-stage footprints for the anchor stages, and a
+  seeded regression must be caught);
+* the runtime access sanitizer (proxy transparency, recording windows,
+  pipeline integration, cross-validation against the static result).
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.config import ALL_FIELDS, TRACE_FIELDS, GPUConfig
+from repro.depcheck import (
+    AccessRecordingConfig,
+    DepcheckReport,
+    DepDiagnostic,
+    StageDepResult,
+    analyze_stage_deps,
+    check_runtime,
+    record_stage,
+    recording_config,
+)
+from repro.depcheck.modindex import ModuleIndex
+from repro.depcheck.runtime import (
+    clear_recorded,
+    reads_from_metrics,
+    recorded_reads,
+)
+from repro.depcheck.stagedeps import infer_stage_reads
+from repro.obs.metrics import MetricsRegistry
+from repro.pipeline import Pipeline
+from repro.pipeline.stages import (
+    CACHE_SIM_FIELDS,
+    COSTMODEL_FIELDS,
+    LATENCY_FIELDS,
+    ORACLE_FIELDS,
+    PREDICT_FIELDS,
+    PROFILE_FIELDS,
+    STAGES,
+    StageSpec,
+)
+from repro.staticcheck.report import Severity
+from repro.workloads.generators import Scale
+
+
+@pytest.fixture(scope="module")
+def index():
+    return ModuleIndex.build()
+
+
+@pytest.fixture(scope="module")
+def report(index):
+    return analyze_stage_deps(index)
+
+
+# ---------------------------------------------------------------------------
+# Diff machinery
+# ---------------------------------------------------------------------------
+
+
+class TestStageDepResult:
+    def test_undeclared_excludes_keyed_coverage(self):
+        result = StageDepResult(
+            stage="s",
+            declared=frozenset({"a"}),
+            inferred=frozenset({"a", "b", "c"}),
+            keyed_coverage=frozenset({"b"}),
+        )
+        assert result.undeclared == frozenset({"c"})
+
+    def test_unkeyed_coverage_must_be_declared(self):
+        # A field an unkeyed input depends on is required even when the
+        # stage itself never reads it.
+        result = StageDepResult(
+            stage="s",
+            declared=frozenset({"a"}),
+            inferred=frozenset({"a"}),
+            keyed_coverage=frozenset(),
+            unkeyed_coverage=frozenset({"b"}),
+        )
+        assert result.undeclared == frozenset({"b"})
+        assert result.over_declared == frozenset()
+
+    def test_over_declared_spares_unkeyed_coverage(self):
+        result = StageDepResult(
+            stage="s",
+            declared=frozenset({"a", "b", "c"}),
+            inferred=frozenset({"a"}),
+            keyed_coverage=frozenset(),
+            unkeyed_coverage=frozenset({"b"}),
+        )
+        assert result.over_declared == frozenset({"c"})
+
+    def test_effective_coverage(self):
+        result = StageDepResult(
+            stage="s",
+            declared=frozenset({"a"}),
+            inferred=frozenset({"a"}),
+            keyed_coverage=frozenset({"b"}),
+        )
+        assert result.effective_coverage == frozenset({"a", "b"})
+
+
+class TestReport:
+    def test_diagnostic_roundtrip(self):
+        diagnostic = DepDiagnostic(
+            stage="predict",
+            check_id="depcheck-undeclared-read",
+            severity=Severity.ERROR,
+            message="reads config.x",
+            where="somewhere.py:3",
+        )
+        assert DepDiagnostic.from_dict(diagnostic.to_dict()) == diagnostic
+
+    def test_has_errors_ignores_warnings(self):
+        rep = DepcheckReport(
+            diagnostics=[
+                DepDiagnostic("s", "depcheck-over-declared",
+                              Severity.WARNING, "m")
+            ]
+        )
+        assert not rep.has_errors
+        assert len(rep.warnings) == 1
+
+    def test_render_text_mentions_undeclared(self):
+        rep = DepcheckReport(
+            stages=[
+                StageDepResult(
+                    stage="s",
+                    declared=frozenset(),
+                    inferred=frozenset({"x"}),
+                    keyed_coverage=frozenset(),
+                )
+            ]
+        )
+        assert "UNDECLARED: x" in rep.render_text()
+
+
+# ---------------------------------------------------------------------------
+# The static pass on the real repository
+# ---------------------------------------------------------------------------
+
+
+class TestStaticPass:
+    def test_repo_is_clean(self, report):
+        assert report.diagnostics == [], report.render_text()
+
+    def test_all_stages_analyzed(self, report):
+        assert {r.stage for r in report.stages} == set(STAGES)
+
+    def test_trace_footprint_exact(self, report):
+        assert report.stage_result("trace").inferred == TRACE_FIELDS
+
+    def test_costmodel_footprint_exact(self, report):
+        assert report.stage_result("costmodel").inferred == COSTMODEL_FIELDS
+
+    def test_cache_sim_footprint_exact(self, report):
+        assert report.stage_result("cache_sim").inferred == CACHE_SIM_FIELDS
+
+    def test_latency_table_footprint_exact(self, report):
+        assert (
+            report.stage_result("latency_table").inferred == LATENCY_FIELDS
+        )
+
+    def test_profiles_footprint_exact(self, report):
+        assert (
+            report.stage_result("interval_profiles").inferred
+            == PROFILE_FIELDS
+        )
+
+    def test_oracle_footprint_exact(self, report):
+        assert report.stage_result("oracle").inferred == ORACLE_FIELDS
+
+    def test_predict_narrower_than_all_fields(self, report):
+        # The whole point of the exercise: predict no longer keys on
+        # the full config.
+        result = report.stage_result("predict")
+        assert result.declared == PREDICT_FIELDS < ALL_FIELDS
+        assert result.inferred | result.unkeyed_coverage == PREDICT_FIELDS
+
+    def test_fresh_config_defaults_not_attributed(self, report):
+        # ``emulate(kernel, config=None)`` constructs a fresh default
+        # GPUConfig; its reads must not leak into the trace footprint
+        # beyond the genuine TRACE_FIELDS (checked via exactness above)
+        # — and simt_width specifically must stay out everywhere.
+        for result in report.stages:
+            assert "simt_width" not in result.inferred, result.stage
+
+    def test_seeded_regression_is_caught(self, index, monkeypatch):
+        # Narrow the oracle declaration behind depcheck's back: the
+        # diff must flag every dropped-but-read field as an error.
+        import repro.pipeline.stages as stages_mod
+
+        broken = StageSpec(
+            "oracle",
+            inputs=("trace",),
+            config_fields=ORACLE_FIELDS - frozenset({"n_mshrs"}),
+            description=STAGES["oracle"].description,
+        )
+        monkeypatch.setitem(stages_mod.STAGES, "oracle", broken)
+        rep = analyze_stage_deps(index)
+        errors = [
+            d for d in rep.errors
+            if d.stage == "oracle"
+            and d.check_id == "depcheck-undeclared-read"
+        ]
+        assert len(errors) == 1 and "n_mshrs" in errors[0].message
+
+    def test_seeded_over_declaration_is_caught(self, index, monkeypatch):
+        import repro.pipeline.stages as stages_mod
+
+        padded = StageSpec(
+            "trace",
+            inputs=(),
+            config_fields=TRACE_FIELDS | frozenset({"n_mshrs"}),
+            description=STAGES["trace"].description,
+        )
+        monkeypatch.setitem(stages_mod.STAGES, "trace", padded)
+        rep = analyze_stage_deps(index)
+        warnings = [
+            d for d in rep.warnings
+            if d.stage == "trace"
+            and d.check_id == "depcheck-over-declared"
+        ]
+        assert len(warnings) == 1 and "n_mshrs" in warnings[0].message
+
+    def test_inference_is_deterministic(self, index):
+        first = infer_stage_reads(index)
+        second = infer_stage_reads(index)
+        assert {s: r.reads for s, r in first.items()} == {
+            s: r.reads for s, r in second.items()
+        }
+
+
+class TestKeyInputs:
+    def test_default_key_inputs_are_inputs(self):
+        assert STAGES["xcheck"].effective_key_inputs == ("trace", "costmodel")
+
+    def test_predict_keys_only_on_trace(self):
+        # predict's key carries the trace key but NOT the clustering
+        # key; everything else must be declared directly.
+        assert STAGES["predict"].effective_key_inputs == ("trace",)
+
+    def test_predict_declares_unkeyed_input_coverage(self):
+        assert CACHE_SIM_FIELDS <= PREDICT_FIELDS
+        assert LATENCY_FIELDS <= PREDICT_FIELDS
+        assert PROFILE_FIELDS <= PREDICT_FIELDS
+
+
+# ---------------------------------------------------------------------------
+# Runtime access sanitizer
+# ---------------------------------------------------------------------------
+
+
+class TestRecordingConfig:
+    def test_transparent_equality_and_fingerprint(self):
+        config = GPUConfig.small()
+        proxy = recording_config(config)
+        assert isinstance(proxy, AccessRecordingConfig)
+        assert proxy == config
+        assert proxy.fingerprint(ALL_FIELDS) == config.fingerprint(
+            ALL_FIELDS
+        )
+
+    def test_wrap_is_idempotent(self):
+        proxy = recording_config(GPUConfig())
+        assert recording_config(proxy) is proxy
+
+    def test_with_preserves_recording_class(self):
+        proxy = recording_config(GPUConfig())
+        derived = proxy.with_(scheduler="gto")
+        assert isinstance(derived, AccessRecordingConfig)
+        assert derived.scheduler == "gto"
+
+    def test_pickle_roundtrip(self):
+        proxy = recording_config(GPUConfig.small())
+        clone = pickle.loads(pickle.dumps(proxy))
+        assert isinstance(clone, AccessRecordingConfig)
+        assert clone == proxy
+
+    def test_records_only_inside_window(self):
+        clear_recorded()
+        proxy = recording_config(GPUConfig())
+        proxy.n_cores  # outside any window: not recorded
+        with record_stage("demo") as reads:
+            proxy.warp_size
+            proxy.scheduler
+        proxy.l1_size  # after the window: not recorded
+        assert reads == {"warp_size", "scheduler"}
+        assert recorded_reads()["demo"] == frozenset(
+            {"warp_size", "scheduler"}
+        )
+        clear_recorded()
+
+    def test_property_reads_attribute_base_fields(self):
+        proxy = recording_config(GPUConfig())
+        with record_stage("demo-prop") as reads:
+            proxy.max_warps_per_core
+        assert {"max_threads_per_core", "warp_size"} <= reads
+        clear_recorded()
+
+    def test_windows_nest_innermost_wins(self):
+        proxy = recording_config(GPUConfig())
+        with record_stage("outer") as outer:
+            proxy.n_cores
+            with record_stage("inner") as inner:
+                proxy.warp_size
+        assert "warp_size" in inner and "warp_size" not in outer
+        assert "n_cores" in outer
+        clear_recorded()
+
+
+class TestPipelineIntegration:
+    def test_sanitized_run_stays_within_static_inference(
+        self, report, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_DEPCHECK", "1")
+        metrics = MetricsRegistry()
+        pipeline = Pipeline(
+            GPUConfig.small(), scale=Scale.tiny(), metrics=metrics
+        )
+        pipeline.evaluate("vectoradd")
+        pipeline.crosscheck("vectoradd")
+        observed = reads_from_metrics(metrics)
+        assert observed, "sanitizer recorded nothing"
+        assert check_runtime(observed, report, ["vectoradd"]) == []
+        for stage, reads in observed.items():
+            result = report.stage_result(stage)
+            assert reads <= result.inferred, (stage, reads)
+            assert reads <= result.effective_coverage, (stage, reads)
+
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DEPCHECK", raising=False)
+        metrics = MetricsRegistry()
+        pipeline = Pipeline(
+            GPUConfig.small(), scale=Scale.tiny(), metrics=metrics
+        )
+        pipeline.trace("vectoradd")
+        assert reads_from_metrics(metrics) == {}
+
+    def test_sanitized_results_bitwise_identical(self, monkeypatch):
+        base = Pipeline(GPUConfig.small(), scale=Scale.tiny())
+        plain = base.evaluate("vectoradd")
+        monkeypatch.setenv("REPRO_DEPCHECK", "1")
+        sanitized = Pipeline(
+            GPUConfig.small(), scale=Scale.tiny()
+        ).evaluate("vectoradd")
+        assert sanitized.oracle_cpi == plain.oracle_cpi
+        assert sanitized.model_cpis == plain.model_cpis
+
+
+class TestCheckRuntime:
+    def test_escape_outside_inference_is_error(self, report):
+        observed = {"trace": frozenset({"n_mshrs"})}
+        diagnostics = check_runtime(observed, report)
+        kinds = {d.check_id for d in diagnostics}
+        assert "depcheck-runtime-escape" in kinds
+        assert "depcheck-runtime-unsound" in kinds
+        assert all(d.severity is Severity.ERROR for d in diagnostics)
+
+    def test_covered_read_is_clean(self, report):
+        # A field inside both the inferred set and the key coverage.
+        observed = {"trace": frozenset({"warp_size"})}
+        assert check_runtime(observed, report) == []
+
+    def test_unknown_stage_ignored(self, report):
+        assert check_runtime({"nope": frozenset({"warp_size"})},
+                             report) == []
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+class TestCli:
+    def test_depcheck_text_exit_zero(self, capsys):
+        from repro.cli import main
+
+        assert main(["depcheck"]) == 0
+        out = capsys.readouterr().out
+        assert "depcheck: clean" in out
+
+    def test_depcheck_json_payload(self, capsys):
+        import json
+
+        from repro.cli import main
+
+        assert main(["depcheck", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_errors"] == 0
+        assert {s["stage"] for s in payload["stages"]} == set(STAGES)
+
+
+# ---------------------------------------------------------------------------
+# Arch-dispatch completeness
+# ---------------------------------------------------------------------------
+
+
+class TestArchBypass:
+    def test_hook_implementations_derived(self, index):
+        from repro.depcheck.stagedeps import _hook_implementations
+
+        impls = _hook_implementations(index)
+        # The interface delegates contention modeling and interval
+        # construction to implementations outside repro.arch; those are
+        # exactly what stage code must not call directly.
+        assert any("contention" in q for q in impls)
+        assert any("interval" in q for q in impls)
+
+    def test_no_bypass_in_stage_closures(self, report):
+        assert [
+            d for d in report.diagnostics
+            if d.check_id == "depcheck-arch-bypass"
+        ] == []
+
+
+def test_runtime_sweep_env_restored():
+    from repro.depcheck.runtime import runtime_sweep
+
+    os.environ.pop("REPRO_DEPCHECK", None)
+    observed, kernels = runtime_sweep(kernels=["vectoradd"])
+    assert kernels == ["vectoradd"]
+    assert "oracle" in observed
+    assert os.environ.get("REPRO_DEPCHECK") is None

@@ -1,0 +1,135 @@
+"""Property tests for ``GPUConfig.fingerprint`` — the cache-key primitive.
+
+The contract the whole artifact store rests on: the fingerprint of a
+field subset changes **iff** a field in that subset changes, and is
+stable across process spawns (no ``PYTHONHASHSEED`` or dict-order
+dependence).  The fuzz covers every fingerprinted field, including the
+architecture-backend ones (``arch``/``n_schedulers``); validation
+couples a few fields, so each mutation names the full set of fields it
+touches and the iff-property is asserted against that set.
+"""
+
+import os
+import random
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro.config import ALL_FIELDS, GPUConfig
+
+#: One validation-respecting mutation per field: field -> overrides.
+#: Coupled constraints (``simt_width == warp_size``) make some
+#: mutations touch several fields at once; ``issue_width`` is pinned to
+#: 1 by validation and therefore has no legal mutation at all.
+MUTATIONS = {
+    "n_cores": {"n_cores": 8},
+    "core_clock_ghz": {"core_clock_ghz": 1.4},
+    "warp_size": {"warp_size": 64, "simt_width": 64},
+    "simt_width": {"simt_width": 64, "warp_size": 64},
+    "max_threads_per_core": {"max_threads_per_core": 512},
+    "scheduler": {"scheduler": "gto"},
+    "line_size": {"line_size": 64},
+    "l1_size": {"l1_size": 64 * 1024},
+    "l1_assoc": {"l1_assoc": 4},
+    "l1_latency": {"l1_latency": 30},
+    "l2_size": {"l2_size": 1536 * 1024},
+    "l2_assoc": {"l2_assoc": 16},
+    "l2_latency": {"l2_latency": 150},
+    "n_mshrs": {"n_mshrs": 64},
+    "dram_latency": {"dram_latency": 400},
+    "dram_bandwidth_gbps": {"dram_bandwidth_gbps": 96.0},
+    "n_dram_channels": {"n_dram_channels": 2},
+    "smem_size": {"smem_size": 32 * 1024},
+    "smem_latency": {"smem_latency": 20},
+    "smem_banks": {"smem_banks": 16},
+    "n_sfu_units": {"n_sfu_units": 16},
+    "op_latencies": {
+        "op_latencies": {"ialu": 4, "falu": 25, "sfu": 80}
+    },
+    "arch": {"arch": "subcore"},
+    "n_schedulers": {"n_schedulers": 8},
+}
+
+UNMUTABLE = frozenset({"issue_width"})  # pinned to 1 by validation
+
+BASE = GPUConfig()
+
+
+def test_every_field_has_a_mutation():
+    assert frozenset(MUTATIONS) | UNMUTABLE == ALL_FIELDS
+
+
+@pytest.mark.parametrize("field", sorted(MUTATIONS))
+def test_full_fingerprint_changes_with_each_field(field):
+    mutated = BASE.with_(**MUTATIONS[field])
+    assert mutated.fingerprint(ALL_FIELDS) != BASE.fingerprint(ALL_FIELDS)
+
+
+@pytest.mark.parametrize("field", sorted(MUTATIONS))
+def test_disjoint_subset_fingerprint_is_invariant(field):
+    changed = set(MUTATIONS[field])
+    others = ALL_FIELDS - changed
+    mutated = BASE.with_(**MUTATIONS[field])
+    assert mutated.fingerprint(others) == BASE.fingerprint(others)
+
+
+def test_fuzz_changes_iff_subset_intersects_mutation():
+    rng = random.Random(0xF1A9)
+    fields = sorted(ALL_FIELDS)
+    for _ in range(300):
+        subset = frozenset(
+            f for f in fields if rng.random() < rng.uniform(0.1, 0.9)
+        )
+        field = rng.choice(sorted(MUTATIONS))
+        changed = set(MUTATIONS[field])
+        mutated = BASE.with_(**MUTATIONS[field])
+        same = mutated.fingerprint(subset) == BASE.fingerprint(subset)
+        if subset & changed:
+            assert not same, (field, sorted(subset))
+        else:
+            assert same, (field, sorted(subset))
+
+
+def test_fingerprint_ignores_construction_history():
+    # with_() round-trips and dict insertion order must not matter.
+    direct = GPUConfig(scheduler="gto", n_cores=8)
+    rebuilt = GPUConfig().with_(n_cores=8).with_(scheduler="gto")
+    reordered = GPUConfig(
+        scheduler="gto",
+        n_cores=8,
+        op_latencies={"sfu": 40, "falu": 25, "ialu": 4},
+    )
+    assert direct.fingerprint(ALL_FIELDS) == rebuilt.fingerprint(ALL_FIELDS)
+    assert direct.fingerprint(ALL_FIELDS) == reordered.fingerprint(
+        ALL_FIELDS
+    )
+
+
+def test_fingerprint_stable_across_process_spawns():
+    """A fresh interpreter (different hash seed) must agree byte-for-
+    byte — on-disk artifact stores outlive the process that wrote them.
+    """
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(
+        repro.__file__
+    )))
+    code = (
+        "import sys; sys.path.insert(0, %r)\n"
+        "from repro.config import ALL_FIELDS, TRACE_FIELDS, GPUConfig\n"
+        "c = GPUConfig(scheduler='gto', arch='subcore', n_schedulers=8)\n"
+        "print(c.fingerprint(ALL_FIELDS))\n"
+        "print(c.fingerprint(TRACE_FIELDS))\n" % src_dir
+    )
+    env = dict(os.environ, PYTHONHASHSEED="12345")
+    spawned = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True, text=True, check=True, env=env,
+    ).stdout.split()
+    here = GPUConfig(scheduler="gto", arch="subcore", n_schedulers=8)
+    from repro.config import TRACE_FIELDS
+
+    assert spawned == [
+        here.fingerprint(ALL_FIELDS),
+        here.fingerprint(TRACE_FIELDS),
+    ]
