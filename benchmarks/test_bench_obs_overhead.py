@@ -16,6 +16,16 @@ trace-plus-oracle computation three ways:
     Same, with a recording tracer and timeline sampling — the full
     observability cost, recorded for context (not asserted).
 
+Two more pairs cover the telemetry layer:
+
+``evaluate`` vs ``evaluate_ledger``
+    ``Pipeline.evaluate`` without and with a prediction ledger — the
+    per-evaluation JSONL append must stay within the same 5% budget.
+``disabled`` vs ``exporter_idle``
+    The same pipeline run with an un-scraped OpenMetrics exporter
+    serving in the background — an idle exporter thread (asleep in
+    ``select``) must cost nothing measurable.
+
 Each timing is a min-of-N (coldest-cache noise suppressed); the
 assertion allows 5% relative plus a small absolute grace for sub-ms
 jitter.  Results land in ``BENCH_obs.json`` at the repo root.
@@ -23,11 +33,12 @@ jitter.  Results land in ``BENCH_obs.json`` at the repo root.
 
 import json
 import os
+import tempfile
 import time
 
 from benchmarks.conftest import run_once
 from repro.config import GPUConfig
-from repro.obs import Tracer
+from repro.obs import MetricsExporter, MetricsRegistry, PredictionLedger, Tracer
 from repro.pipeline import Pipeline
 from repro.timing.simulator import simulate_kernel
 from repro.trace.emulator import emulate
@@ -64,6 +75,11 @@ def _pipeline_run(tracer=None, timeline_interval=None):
     return pipeline.simulate(KERNEL, warps_per_core=WARPS)
 
 
+def _evaluate_run(ledger=None):
+    pipeline = Pipeline(_config(), scale=Scale.tiny(), ledger=ledger)
+    return pipeline.evaluate(KERNEL, warps_per_core=WARPS)
+
+
 def _min_time(fn, rounds=ROUNDS):
     best = float("inf")
     for _ in range(rounds):
@@ -79,6 +95,14 @@ def test_bench_obs_overhead(benchmark):
     enabled = _min_time(
         lambda: _pipeline_run(tracer=Tracer(), timeline_interval=256.0)
     )
+    evaluate = _min_time(_evaluate_run)
+    with tempfile.TemporaryDirectory() as tmp:
+        ledger_path = os.path.join(tmp, "bench-ledger.jsonl")
+        evaluate_ledger = _min_time(
+            lambda: _evaluate_run(ledger=PredictionLedger(ledger_path))
+        )
+    with MetricsExporter(MetricsRegistry()):
+        exporter_idle = _min_time(_pipeline_run)
 
     results = {
         "kernel": KERNEL,
@@ -87,8 +111,13 @@ def test_bench_obs_overhead(benchmark):
         "baseline_s": baseline,
         "disabled_s": disabled,
         "enabled_s": enabled,
+        "evaluate_s": evaluate,
+        "evaluate_ledger_s": evaluate_ledger,
+        "exporter_idle_s": exporter_idle,
         "disabled_overhead_ratio": disabled / baseline,
         "enabled_overhead_ratio": enabled / baseline,
+        "ledger_overhead_ratio": evaluate_ledger / evaluate,
+        "exporter_idle_overhead_ratio": exporter_idle / disabled,
     }
     with open(RESULTS_PATH, "w", encoding="utf-8") as handle:
         json.dump(results, handle, indent=2, sort_keys=True)
@@ -102,4 +131,15 @@ def test_bench_obs_overhead(benchmark):
     assert disabled <= baseline * 1.05 + 0.05, (
         "disabled-tracer pipeline run %.4fs exceeds untraced baseline "
         "%.4fs by more than 5%%" % (disabled, baseline)
+    )
+    # Ledger appends are one JSON line per *evaluation* — bounded by
+    # serialization of a small dict, not by sweep size.
+    assert evaluate_ledger <= evaluate * 1.05 + 0.05, (
+        "ledger-enabled evaluate %.4fs exceeds plain evaluate %.4fs "
+        "by more than 5%%" % (evaluate_ledger, evaluate)
+    )
+    # An idle exporter sleeps in select(); nobody scraping means no work.
+    assert exporter_idle <= disabled * 1.05 + 0.05, (
+        "pipeline run with idle exporter %.4fs exceeds plain run %.4fs "
+        "by more than 5%%" % (exporter_idle, disabled)
     )

@@ -25,12 +25,24 @@ Subcommands
 ``profile``
     Evaluate kernels with tracing, metrics and oracle timeline sampling
     on; writes a Chrome-trace/Perfetto file and prints stage timings.
+    ``--sample`` adds the stdlib sampling profiler (collapsed-stack
+    flamegraph output, samples attributed to pipeline-stage spans).
+``serve-metrics``
+    Run a sweep with a live OpenMetrics HTTP exporter (``/metrics``,
+    ``/healthz``, ``/spans``) so external scrapers observe it mid-run.
+``watchdog``
+    Accuracy-regression gate: diff per-kernel prediction error between
+    a baseline ledger and a current one; nonzero exit on regression.
+``dash``
+    Render the self-contained HTML accuracy dashboard from ledger
+    history (plus checked-in ``BENCH_*.json`` files).
 
 Observability flags (global, also accepted after the subcommand):
 ``-v/--verbose`` raises diagnostic logging (stderr), ``-q/--quiet``
 silences human-readable reports, ``--trace-out FILE`` records a span
 trace of the whole invocation, ``--metrics-out FILE`` dumps the metrics
-registry as JSON.  Human reports go through the logging layer
+registry as JSON, ``--ledger FILE`` appends one JSONL prediction record
+per evaluation.  Human reports go through the logging layer
 (:mod:`repro.harness.reporting`); machine-readable output (``lint
 --format json``) always prints directly to stdout.
 """
@@ -51,9 +63,11 @@ from repro.harness.reporting import (
     render_stage_table,
     render_table,
 )
-from repro.harness.runner import MODEL_LABELS, MODELS, Runner
+from repro.harness.runner import MODEL_LABELS, MODELS, Runner, nanmean
 from repro.harness.speedup import run_speedup
 from repro.obs import MetricsRegistry, Tracer, set_tracer
+from repro.obs.ledger import DEFAULT_MODEL as LEDGER_DEFAULT_MODEL
+from repro.obs.sampler import DEFAULT_INTERVAL as SAMPLE_INTERVAL
 from repro.trace.emulator import emulate
 from repro.workloads.generators import Scale
 from repro.workloads.suite import SUITE, get_kernel, kernel_names
@@ -101,6 +115,11 @@ def _add_obs_args(parser: argparse.ArgumentParser,
     parser.add_argument("--metrics-out", metavar="FILE",
                         default=default(None),
                         help="write the metrics registry as JSON")
+    parser.add_argument("--ledger", metavar="FILE",
+                        default=default(None),
+                        help="append one JSONL prediction record per "
+                        "evaluation (provenance + accuracy; see "
+                        "'repro dash' and 'repro watchdog')")
 
 
 def _add_machine_args(parser: argparse.ArgumentParser) -> None:
@@ -156,6 +175,7 @@ def _runner(args) -> Runner:
         tracer=getattr(args, "obs_tracer", None),
         metrics=getattr(args, "obs_metrics", None),
         timeline_interval=getattr(args, "timeline_interval", None),
+        ledger=getattr(args, "obs_ledger", None),
     )
 
 
@@ -389,7 +409,20 @@ def _cmd_profile(args) -> int:
     runner = _runner(args)
     requests = [{"kernel": name, "warps_per_core": args.warps}
                 for name in names]
-    results = runner.evaluate_many(requests)
+    profiler = None
+    if args.sample:
+        from repro.obs.sampler import SamplingProfiler
+
+        profiler = SamplingProfiler(
+            interval=args.sample_interval,
+            tracer=getattr(args, "obs_tracer", None),
+        )
+        profiler.start()
+    try:
+        results = runner.evaluate_many(requests)
+    finally:
+        if profiler is not None:
+            profiler.stop()
 
     rows = []
     for result in results:
@@ -409,6 +442,31 @@ def _cmd_profile(args) -> int:
         emit("")
         emit(stage_table)
 
+    if profiler is not None:
+        profiler.write_collapsed(args.sample_out)
+        _LOG.info("wrote %d collapsed stacks to %s (flamegraph.pl / "
+                  "speedscope input)", len(profiler.stacks()),
+                  args.sample_out)
+        by_span = profiler.by_span()
+        total = sum(by_span.values()) or 1
+        span_rows = [
+            (span, "%d" % n, "%.1f%%" % (100.0 * n / total))
+            for span, n in sorted(by_span.items(),
+                                  key=lambda kv: -kv[1])
+        ]
+        emit("")
+        emit(render_table(("span", "samples", "share"), span_rows,
+                          title="sampling profile by pipeline stage "
+                          "(%d samples)" % total))
+        frame_rows = [
+            (frame, "%d" % n)
+            for frame, n in profiler.hot_frames(top=10)
+        ]
+        if frame_rows:
+            emit("")
+            emit(render_table(("hot frame (leaf)", "samples"), frame_rows,
+                              title="hottest frames"))
+
     # Oracle timelines become counter tracks in the session trace file.
     extra = getattr(args, "obs_extra_events", None)
     if extra is not None:
@@ -421,6 +479,93 @@ def _cmd_profile(args) -> int:
                 pid=os.getpid(),
                 track_prefix="%s " % result.kernel if prefix_names else "",
             ))
+    return 0
+
+
+def _cmd_serve_metrics(args) -> int:
+    """Run a sweep with the OpenMetrics exporter live.
+
+    The exporter serves the session registry over HTTP for the whole
+    invocation, so an external scraper (Prometheus, ``curl``, the CI
+    smoke job) observes stage counters *while* the sweep runs.  With
+    ``--repeat`` the sweep re-runs; each repetition rotates the ledger
+    run id so it lands as its own point on the dashboard trend line.
+    """
+    import time as _time
+
+    from repro.obs.exporter import MetricsExporter
+
+    names = args.kernels or list(kernel_names())
+    unknown = [n for n in names if n not in SUITE]
+    if unknown:
+        _LOG.error("unknown kernel(s): %s", ", ".join(unknown))
+        return 2
+    runner = _runner(args)
+    requests = [{"kernel": name, "warps_per_core": args.warps}
+                for name in names]
+    ledger = getattr(args, "obs_ledger", None)
+    with MetricsExporter(args.obs_metrics, tracer=args.obs_tracer,
+                         host=args.host, port=args.port) as exporter:
+        emit("serving metrics at %s/metrics (healthz, spans)"
+             % exporter.url)
+        for repetition in range(args.repeat):
+            if repetition and ledger is not None:
+                ledger.rotate_run()
+            results = runner.evaluate_many(requests)
+            mean_err = nanmean(
+                r.error("mt_mshr_band") for r in results
+            )
+            emit("sweep %d/%d: %d kernel(s), mean error %.1f%%"
+                 % (repetition + 1, args.repeat, len(results),
+                    100.0 * mean_err))
+        if args.linger > 0:
+            emit("lingering %.1fs for scrapers (ctrl-C to stop)"
+                 % args.linger)
+            try:
+                _time.sleep(args.linger)
+            except KeyboardInterrupt:
+                pass
+        health = exporter.health()
+    emit("served %d scrape(s); exporter stopped" % health["n_scrapes"])
+    return 0
+
+
+def _cmd_watchdog(args) -> int:
+    """Gate accuracy: compare a current ledger against the baseline."""
+    import json
+
+    from repro.obs.ledger import compare_ledgers, read_ledgers
+
+    baseline = read_ledgers(args.baseline)
+    current = read_ledgers(args.current)
+    report = compare_ledgers(
+        baseline, current,
+        model=args.model,
+        tolerance=args.tolerance,
+        rel_tolerance=args.rel_tolerance,
+        allow_missing=args.allow_missing,
+    )
+    if args.format == "json":
+        # Machine-readable output bypasses the logging layer (see lint).
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        emit(report.render_text())
+    return 1 if report.has_regressions else 0
+
+
+def _cmd_dash(args) -> int:
+    """Render the self-contained HTML accuracy dashboard."""
+    from repro.obs.dashboard import collect_bench, write_dashboard
+    from repro.obs.ledger import read_ledgers, runs
+
+    records = read_ledgers(args.ledgers)
+    if not records:
+        _LOG.error("no ledger records in %s", ", ".join(args.ledgers))
+        return 2
+    bench = collect_bench(args.bench) if args.bench else None
+    write_dashboard(args.out, records, bench=bench, model=args.model)
+    emit("wrote %s (%d record(s), %d run(s))"
+         % (args.out, len(records), len(runs(records))))
     return 0
 
 
@@ -532,7 +677,82 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--timeline-interval", type=float,
                          default=DEFAULT_TIMELINE_INTERVAL, metavar="CYCLES",
                          help="oracle sampling period in cycles")
+    profile.add_argument("--sample", action="store_true",
+                         help="run the stdlib sampling profiler alongside "
+                         "the sweep (span-attributed wall-clock samples)")
+    profile.add_argument("--sample-out", default="repro-samples.txt",
+                         metavar="FILE",
+                         help="collapsed-stack output file "
+                         "(flamegraph.pl / speedscope input)")
+    profile.add_argument("--sample-interval", type=float,
+                         default=SAMPLE_INTERVAL, metavar="SECONDS",
+                         help="sampling period in seconds")
     _add_machine_args(profile)
+
+    serve = sub.add_parser(
+        "serve-metrics",
+        help="run a sweep with a live OpenMetrics HTTP exporter "
+        "(/metrics, /healthz, /spans)",
+    )
+    serve.add_argument("--suite-kernel", action="append", dest="kernels",
+                       metavar="KERNEL", default=None,
+                       help="kernel to evaluate (repeatable; default: "
+                       "the whole suite)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="exporter bind address")
+    serve.add_argument("--port", type=int, default=0,
+                       help="exporter port (0: ephemeral, printed)")
+    serve.add_argument("--repeat", type=int, default=1, metavar="N",
+                       help="run the sweep N times (each repetition is "
+                       "its own ledger run)")
+    serve.add_argument("--linger", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="keep serving after the sweep finishes")
+    _add_machine_args(serve)
+
+    watchdog = sub.add_parser(
+        "watchdog",
+        help="accuracy-regression gate: diff per-kernel prediction "
+        "error between ledgers (nonzero exit on regression)",
+    )
+    watchdog.add_argument("--baseline", action="append", required=True,
+                          metavar="LEDGER",
+                          help="baseline ledger JSONL (repeatable)")
+    watchdog.add_argument("--current", action="append", required=True,
+                          metavar="LEDGER",
+                          help="current ledger JSONL (repeatable)")
+    watchdog.add_argument("--model", default=LEDGER_DEFAULT_MODEL,
+                          choices=MODELS,
+                          help="model whose error is gated")
+    watchdog.add_argument("--tolerance", type=float, default=0.02,
+                          help="absolute error-increase budget "
+                          "(fraction; default 0.02 = 2 points)")
+    watchdog.add_argument("--rel-tolerance", type=float, default=0.0,
+                          help="extra budget relative to the baseline "
+                          "error (fraction of baseline)")
+    watchdog.add_argument("--allow-missing", action="store_true",
+                          help="kernels missing from the current ledger "
+                          "are not regressions")
+    watchdog.add_argument("--format", choices=("text", "json"),
+                          default="text", help="report output format")
+    _add_obs_args(watchdog)
+
+    dash = sub.add_parser(
+        "dash",
+        help="render the self-contained HTML accuracy dashboard from "
+        "ledger history",
+    )
+    dash.add_argument("ledgers", nargs="+", metavar="LEDGER",
+                      help="ledger JSONL file(s) to aggregate")
+    dash.add_argument("--out", default="repro-dash.html", metavar="FILE",
+                      help="output HTML file")
+    dash.add_argument("--bench", default=None, metavar="DIR",
+                      help="directory holding BENCH_*.json files to "
+                      "include (e.g. the repo root)")
+    dash.add_argument("--model", default=LEDGER_DEFAULT_MODEL,
+                      choices=MODELS,
+                      help="model whose error the trends show")
+    _add_obs_args(dash)
 
     return parser
 
@@ -551,6 +771,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     args.obs_tracer = tracer
     args.obs_metrics = metrics
     args.obs_extra_events = []
+    args.obs_ledger = None
+    if getattr(args, "ledger", None):
+        from repro.obs.ledger import PredictionLedger
+
+        args.obs_ledger = PredictionLedger(args.ledger)
     set_tracer(tracer)
 
     handlers = {
@@ -564,6 +789,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "analyze": _cmd_analyze,
         "depcheck": _cmd_depcheck,
         "profile": _cmd_profile,
+        "serve-metrics": _cmd_serve_metrics,
+        "watchdog": _cmd_watchdog,
+        "dash": _cmd_dash,
     }
     try:
         with tracer.span(args.command, category="cli"):

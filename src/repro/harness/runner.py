@@ -118,6 +118,9 @@ class Runner:
     timeline_interval:
         Oracle sampling period in cycles; populates
         ``SimStats.timeline`` on every oracle run (None: off).
+    ledger:
+        Optional :class:`~repro.obs.ledger.PredictionLedger`; every
+        evaluation appends one provenance + accuracy JSONL record.
     """
 
     def __init__(
@@ -131,6 +134,7 @@ class Runner:
         tracer=None,
         metrics=None,
         timeline_interval: Optional[float] = None,
+        ledger=None,
     ):
         self.config = config
         self.scale = scale if scale is not None else Scale.small()
@@ -144,6 +148,7 @@ class Runner:
             tracer=tracer,
             metrics=metrics,
             timeline_interval=timeline_interval,
+            ledger=ledger,
         )
 
     @property

@@ -1,0 +1,464 @@
+"""Self-contained HTML dashboard over ledger history and benchmarks.
+
+``repro dash`` renders one HTML file — no external assets, no
+JavaScript dependencies, openable from a CI artifact tab — that answers
+the operating question the ledger exists for: *is prediction accuracy
+drifting?*  Sections:
+
+* stat tiles (runs, kernels, latest mean error, worst drift);
+* per-kernel **accuracy trend**: an inline SVG sparkline of the
+  prediction error across runs, first/latest values, and the drift
+  delta (icon + label, never color alone);
+* per-kernel **CPI-stack attribution** of the latest run as stacked
+  bars (fixed component→hue assignment, 2px surface gaps, hover
+  ``<title>`` tooltips, legend);
+* **cache miss-rate trends** (L1/L2 sparklines per kernel);
+* run history and the checked-in ``BENCH_*.json`` trajectory.
+
+Charts follow the repo-neutral dataviz method: categorical hues are
+assigned in fixed order and never cycled, sparklines are single-series
+(the row names the series, so no legend box), text wears ink tokens
+rather than series colors, numbers that must align use tabular
+figures, and dark mode is a *selected* palette (same hues re-stepped
+for the dark surface), not an automatic inversion.
+"""
+
+from __future__ import annotations
+
+import datetime
+import glob
+import html
+import json
+import os
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs.ledger import DEFAULT_MODEL, per_kernel_errors, runs
+
+#: CPI-stack component → categorical slot (fixed order, never cycled).
+#: SFU/SMEM fold into the eighth slot: the palette validates eight
+#: adjacent stacked series, and both are zero under the paper's
+#: balanced-design default.
+_STACK_SLOTS: Tuple[Tuple[str, str], ...] = (
+    ("BASE", "series-1"),
+    ("DEP", "series-2"),
+    ("L1", "series-3"),
+    ("L2", "series-4"),
+    ("DRAM", "series-5"),
+    ("MSHR", "series-6"),
+    ("QUEUE", "series-7"),
+    ("OTHER", "series-8"),
+)
+
+_CSS = """
+:root { color-scheme: light dark; }
+body {
+  margin: 0; padding: 24px;
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  background: var(--page); color: var(--text-primary);
+}
+.viz-root {
+  --page: #f9f9f7; --surface-1: #fcfcfb;
+  --text-primary: #0b0b0b; --text-secondary: #52514e;
+  --muted: #898781; --grid: #e1e0d9; --baseline: #c3c2b7;
+  --border: rgba(11,11,11,0.10);
+  --delta-good: #006300; --delta-bad: #d03b3b;
+  --series-1: #2a78d6; --series-2: #eb6834; --series-3: #1baf7a;
+  --series-4: #eda100; --series-5: #e87ba4; --series-6: #008300;
+  --series-7: #4a3aa7; --series-8: #e34948;
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) .viz-root {
+    --page: #0d0d0d; --surface-1: #1a1a19;
+    --text-primary: #ffffff; --text-secondary: #c3c2b7;
+    --muted: #898781; --grid: #2c2c2a; --baseline: #383835;
+    --border: rgba(255,255,255,0.10);
+    --delta-good: #0ca30c; --delta-bad: #d03b3b;
+    --series-1: #3987e5; --series-2: #d95926; --series-3: #199e70;
+    --series-4: #c98500; --series-5: #d55181; --series-6: #008300;
+    --series-7: #9085e9; --series-8: #e66767;
+  }
+}
+:root[data-theme="dark"] .viz-root {
+  --page: #0d0d0d; --surface-1: #1a1a19;
+  --text-primary: #ffffff; --text-secondary: #c3c2b7;
+  --muted: #898781; --grid: #2c2c2a; --baseline: #383835;
+  --border: rgba(255,255,255,0.10);
+  --delta-good: #0ca30c; --delta-bad: #d03b3b;
+  --series-1: #3987e5; --series-2: #d95926; --series-3: #199e70;
+  --series-4: #c98500; --series-5: #d55181; --series-6: #008300;
+  --series-7: #9085e9; --series-8: #e66767;
+}
+body { background: var(--page); }
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 15px; margin: 28px 0 8px; }
+.subtitle { color: var(--text-secondary); font-size: 13px; margin: 0 0 16px; }
+.tiles { display: flex; flex-wrap: wrap; gap: 12px; margin: 16px 0; }
+.tile {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 12px 16px; min-width: 130px;
+}
+.tile .value { font-size: 24px; font-weight: 600; }
+.tile .label { font-size: 12px; color: var(--text-secondary); margin-top: 2px; }
+table {
+  border-collapse: collapse; background: var(--surface-1);
+  border: 1px solid var(--border); border-radius: 8px; font-size: 13px;
+}
+th {
+  text-align: left; color: var(--text-secondary); font-weight: 500;
+  padding: 6px 12px; border-bottom: 1px solid var(--grid); font-size: 12px;
+}
+td { padding: 5px 12px; border-bottom: 1px solid var(--grid); }
+tr:last-child td { border-bottom: none; }
+td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
+.delta-good { color: var(--delta-good); }
+.delta-bad { color: var(--delta-bad); }
+.legend { display: flex; flex-wrap: wrap; gap: 12px; margin: 8px 0;
+          font-size: 12px; color: var(--text-secondary); }
+.legend .swatch {
+  display: inline-block; width: 10px; height: 10px; border-radius: 2px;
+  margin-right: 4px; vertical-align: baseline;
+}
+.footer { margin-top: 28px; font-size: 12px; color: var(--muted); }
+svg text { fill: var(--text-secondary); }
+"""
+
+
+def _esc(value: Any) -> str:
+    return html.escape(str(value))
+
+
+def _fmt_pct(value: Optional[float]) -> str:
+    return "–" if value is None else "%.2f%%" % (100.0 * value)
+
+
+def _fmt_ts(ts: float) -> str:
+    return datetime.datetime.fromtimestamp(
+        ts, tz=datetime.timezone.utc
+    ).strftime("%Y-%m-%d %H:%M:%SZ")
+
+
+def _delta_cell(delta: Optional[float], down_is_good: bool = True) -> str:
+    """A drift delta as icon + label (state is never color alone)."""
+    if delta is None:
+        return '<td class="num">–</td>'
+    if abs(delta) < 5e-5:
+        return '<td class="num">±0.00%</td>'
+    good = (delta < 0) == down_is_good
+    cls = "delta-good" if good else "delta-bad"
+    arrow = "▼" if delta < 0 else "▲"
+    return '<td class="num %s">%s %+.2f%%</td>' % (
+        cls, arrow, 100.0 * delta
+    )
+
+
+def _sparkline(values: Sequence[Optional[float]], width: int = 140,
+               height: int = 30, color: str = "var(--series-1)") -> str:
+    """Single-series inline SVG sparkline with hover tooltips.
+
+    The row label names the series (one series → no legend box); exact
+    first/latest values ride in adjacent table columns, so the spark is
+    shape, not the only carrier of the numbers.
+    """
+    points = [(i, v) for i, v in enumerate(values) if v is not None]
+    if len(points) < 2:
+        return '<span style="color: var(--muted)">n/a</span>'
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    lo, hi = min(ys), max(ys)
+    span = (hi - lo) or 1.0
+    pad = 5.0
+    n = max(xs) - min(xs) or 1
+
+    def scale(i: int, v: float) -> Tuple[float, float]:
+        x = pad + (width - 2 * pad) * (i - min(xs)) / n
+        y = pad + (height - 2 * pad) * (1.0 - (v - lo) / span)
+        return x, y
+
+    coords = [scale(i, v) for i, v in points]
+    polyline = " ".join("%.1f,%.1f" % c for c in coords)
+    last_x, last_y = coords[-1]
+    dots = "".join(
+        '<circle cx="%.1f" cy="%.1f" r="4" fill="transparent">'
+        "<title>run %d: %s</title></circle>"
+        % (x, y, i + 1, _fmt_pct(v))
+        for (x, y), (i, v) in zip(coords, points)
+    )
+    return (
+        '<svg width="%d" height="%d" role="img" aria-label="trend">'
+        '<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" '
+        'stroke="var(--baseline)" stroke-width="1"/>'
+        '<polyline points="%s" fill="none" stroke="%s" '
+        'stroke-width="2" stroke-linejoin="round" '
+        'stroke-linecap="round"/>'
+        '<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>'
+        "%s</svg>"
+        % (width, height, pad, height - pad, width - pad, height - pad,
+           polyline, color, last_x, last_y, color, dots)
+    )
+
+
+def _folded_stack(stack: Dict[str, float]) -> List[Tuple[str, float]]:
+    """CPI-stack components in slot order; SFU/SMEM fold into OTHER."""
+    named = {k: v for k, v in (stack or {}).items()}
+    other = sum(
+        v for k, v in named.items()
+        if k not in {slot for slot, _ in _STACK_SLOTS}
+    )
+    out = []
+    for component, _ in _STACK_SLOTS:
+        value = other if component == "OTHER" else named.get(component, 0.0)
+        out.append((component, float(value or 0.0)))
+    return out
+
+
+def _stacked_bar(stack: Dict[str, float], max_total: float,
+                 width: int = 360, height: int = 16) -> str:
+    """One kernel's CPI stack as a horizontal stacked bar.
+
+    Segment widths share one scale across kernels (``max_total``), a
+    2px surface gap separates adjacent fills, and every segment carries
+    a hover ``<title>`` with component, cycles and share.
+    """
+    components = _folded_stack(stack)
+    total = sum(v for _, v in components) or 1.0
+    scale = (width - 2 * max(0, len(
+        [v for _, v in components if v > 0]
+    ) - 1)) / (max_total or 1.0)
+    x = 0.0
+    rects = []
+    for (component, value), (_, slot) in zip(components, _STACK_SLOTS):
+        if value <= 0:
+            continue
+        w = max(value * scale, 1.0)
+        rects.append(
+            '<rect x="%.1f" y="0" width="%.1f" height="%d" rx="2" '
+            'fill="var(--%s)"><title>%s: %.3f CPI (%.1f%%)</title></rect>'
+            % (x, w, height, slot, component, value, 100.0 * value / total)
+        )
+        x += w + 2.0
+    return '<svg width="%d" height="%d" role="img">%s</svg>' % (
+        width, height, "".join(rects)
+    )
+
+
+def collect_bench(root: str) -> Dict[str, Dict[str, Any]]:
+    """The checked-in ``BENCH_*.json`` files under ``root``, by name."""
+    bench: Dict[str, Dict[str, Any]] = {}
+    for path in sorted(glob.glob(os.path.join(root, "BENCH_*.json"))):
+        try:
+            with open(path, encoding="utf-8") as handle:
+                bench[os.path.basename(path)] = json.load(handle)
+        except (OSError, ValueError):
+            continue
+    return bench
+
+
+def _mean(values: Iterable[Optional[float]]) -> Optional[float]:
+    finite = [v for v in values if v is not None]
+    if not finite:
+        return None
+    return sum(finite) / len(finite)
+
+
+def render_dashboard(
+    records: Sequence[Dict[str, Any]],
+    bench: Optional[Dict[str, Dict[str, Any]]] = None,
+    model: str = DEFAULT_MODEL,
+    title: str = "GPUMech accuracy dashboard",
+) -> str:
+    """Render the full dashboard HTML for a set of ledger records."""
+    by_run = runs(records)
+    run_errors: List[Dict[str, Optional[float]]] = [
+        per_kernel_errors(run_records, model)
+        for _, run_records in by_run
+    ]
+    kernels = sorted({r["kernel"] for r in records})
+    latest = run_errors[-1] if run_errors else {}
+    first = run_errors[0] if run_errors else {}
+
+    parts: List[str] = []
+    parts.append("<!DOCTYPE html><html><head><meta charset='utf-8'>")
+    parts.append("<title>%s</title>" % _esc(title))
+    parts.append("<style>%s</style></head>" % _CSS)
+    parts.append("<body class='viz-root'><h1>%s</h1>" % _esc(title))
+    parts.append(
+        "<p class='subtitle'>%d ledger record(s), %d run(s), %d kernel(s) "
+        "— error model: %s</p>"
+        % (len(records), len(by_run), len(kernels), _esc(model))
+    )
+
+    # -- stat tiles ---------------------------------------------------------
+    latest_mean = _mean(latest.values())
+    drifts = {
+        k: latest[k] - first[k]
+        for k in kernels
+        if latest.get(k) is not None and first.get(k) is not None
+    }
+    worst_kernel, worst_drift = (None, None)
+    if drifts:
+        worst_kernel = max(drifts, key=lambda k: drifts[k])
+        worst_drift = drifts[worst_kernel]
+    tiles = [
+        ("%d" % len(by_run), "runs"),
+        ("%d" % len(kernels), "kernels"),
+        (_fmt_pct(latest_mean), "latest mean error"),
+        ("%s" % (_fmt_pct(worst_drift) if worst_drift is not None
+                 else "–"),
+         "worst drift (%s)" % (worst_kernel or "n/a")),
+    ]
+    parts.append("<div class='tiles'>")
+    for value, label in tiles:
+        parts.append(
+            "<div class='tile'><div class='value'>%s</div>"
+            "<div class='label'>%s</div></div>"
+            % (_esc(value), _esc(label))
+        )
+    parts.append("</div>")
+
+    # -- accuracy trend per kernel ------------------------------------------
+    parts.append("<h2>Prediction error per kernel across runs</h2>")
+    parts.append("<table><tr><th>kernel</th><th>trend</th>"
+                 "<th class='num'>first</th><th class='num'>latest</th>"
+                 "<th class='num'>drift</th></tr>")
+    for kernel in kernels:
+        series = [errors.get(kernel) for errors in run_errors]
+        drift = drifts.get(kernel)
+        parts.append(
+            "<tr><td>%s</td><td>%s</td><td class='num'>%s</td>"
+            "<td class='num'>%s</td>%s</tr>"
+            % (_esc(kernel), _sparkline(series),
+               _fmt_pct(first.get(kernel)), _fmt_pct(latest.get(kernel)),
+               _delta_cell(drift))
+        )
+    parts.append("</table>")
+
+    # -- CPI stack of the latest run ----------------------------------------
+    if by_run:
+        _, latest_records = by_run[-1]
+        latest_by_kernel: Dict[str, Dict[str, Any]] = {}
+        for record in sorted(latest_records,
+                             key=lambda r: r.get("ts", 0.0)):
+            latest_by_kernel[record["kernel"]] = record
+        stacks = {
+            k: r.get("cpi_stack") or {}
+            for k, r in latest_by_kernel.items()
+        }
+        max_total = max(
+            (sum(_folded_stack(s)[i][1]
+                 for i in range(len(_STACK_SLOTS)))
+             for s in stacks.values()), default=1.0,
+        )
+        parts.append("<h2>CPI-stack attribution (latest run)</h2>")
+        parts.append("<div class='legend'>")
+        for component, slot in _STACK_SLOTS:
+            parts.append(
+                "<span><span class='swatch' "
+                "style='background: var(--%s)'></span>%s</span>"
+                % (slot, _esc(component))
+            )
+        parts.append("</div>")
+        parts.append("<table><tr><th>kernel</th><th>CPI stack</th>"
+                     "<th class='num'>predicted CPI</th>"
+                     "<th class='num'>oracle CPI</th></tr>")
+        for kernel in kernels:
+            record = latest_by_kernel.get(kernel)
+            if record is None:
+                continue
+            predicted = (record.get("model_cpis") or {}).get(model)
+            parts.append(
+                "<tr><td>%s</td><td>%s</td><td class='num'>%s</td>"
+                "<td class='num'>%s</td></tr>"
+                % (_esc(kernel),
+                   _stacked_bar(stacks.get(kernel, {}), max_total),
+                   "–" if predicted is None else "%.3f" % predicted,
+                   "–" if record.get("oracle_cpi") is None
+                   else "%.3f" % record["oracle_cpi"])
+            )
+        parts.append("</table>")
+
+    # -- cache miss-rate trends ---------------------------------------------
+    def _rate_series(kernel: str, key: str) -> List[Optional[float]]:
+        out: List[Optional[float]] = []
+        for _, run_records in by_run:
+            value = None
+            for record in sorted(run_records,
+                                 key=lambda r: r.get("ts", 0.0)):
+                if record["kernel"] == kernel and record.get("cache"):
+                    value = record["cache"].get(key)
+            out.append(value)
+        return out
+
+    if any(r.get("cache") for r in records):
+        parts.append("<h2>Cache miss-rate trends</h2>")
+        parts.append("<table><tr><th>kernel</th><th>L1 miss rate</th>"
+                     "<th class='num'>latest L1</th><th>L2 miss rate</th>"
+                     "<th class='num'>latest L2</th></tr>")
+        for kernel in kernels:
+            l1 = _rate_series(kernel, "l1_miss_rate")
+            l2 = _rate_series(kernel, "l2_miss_rate")
+            l1_last = next((v for v in reversed(l1) if v is not None), None)
+            l2_last = next((v for v in reversed(l2) if v is not None), None)
+            parts.append(
+                "<tr><td>%s</td><td>%s</td><td class='num'>%s</td>"
+                "<td>%s</td><td class='num'>%s</td></tr>"
+                % (_esc(kernel), _sparkline(l1), _fmt_pct(l1_last),
+                   _sparkline(l2, color="var(--series-2)"),
+                   _fmt_pct(l2_last))
+            )
+        parts.append("</table>")
+
+    # -- run history --------------------------------------------------------
+    parts.append("<h2>Run history</h2>")
+    parts.append("<table><tr><th>run</th><th>started</th>"
+                 "<th class='num'>records</th><th>arch</th>"
+                 "<th>backend</th><th class='num'>mean error</th></tr>")
+    for run_id, run_records in by_run:
+        arches = sorted({r.get("arch", "?") for r in run_records})
+        backends = sorted({r.get("backend", "?") for r in run_records})
+        mean_err = _mean(
+            per_kernel_errors(run_records, model).values()
+        )
+        parts.append(
+            "<tr><td>%s</td><td>%s</td><td class='num'>%d</td>"
+            "<td>%s</td><td>%s</td><td class='num'>%s</td></tr>"
+            % (_esc(run_id),
+               _fmt_ts(min(r.get("ts", 0.0) for r in run_records)),
+               len(run_records), _esc(",".join(arches)),
+               _esc(",".join(backends)), _fmt_pct(mean_err))
+        )
+    parts.append("</table>")
+
+    # -- benchmark trajectory ------------------------------------------------
+    if bench:
+        parts.append("<h2>Checked-in benchmark trajectory</h2>")
+        parts.append("<table><tr><th>file</th><th>metric</th>"
+                     "<th class='num'>value</th></tr>")
+        for name in sorted(bench):
+            numeric = {
+                k: v for k, v in sorted(bench[name].items())
+                if isinstance(v, (int, float)) and not isinstance(v, bool)
+            }
+            for i, (key, value) in enumerate(numeric.items()):
+                parts.append(
+                    "<tr><td>%s</td><td>%s</td>"
+                    "<td class='num'>%s</td></tr>"
+                    % (_esc(name) if i == 0 else "", _esc(key),
+                       ("%.4g" % value))
+                )
+        parts.append("</table>")
+
+    parts.append(
+        "<p class='footer'>generated by <code>repro dash</code> · "
+        "records validate via <code>python -m repro.obs.schema ledger"
+        "</code> · gate via <code>repro watchdog</code></p>"
+    )
+    parts.append("</body></html>")
+    return "".join(parts)
+
+
+def write_dashboard(path: str, records: Sequence[Dict[str, Any]],
+                    bench: Optional[Dict[str, Dict[str, Any]]] = None,
+                    model: str = DEFAULT_MODEL) -> None:
+    """Render and write the dashboard HTML file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_dashboard(records, bench=bench, model=model))

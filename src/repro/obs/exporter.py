@@ -1,0 +1,200 @@
+"""Stdlib HTTP exporter: live ``/metrics``, ``/healthz`` and ``/spans``.
+
+:class:`MetricsExporter` serves the process's metrics registry and span
+tracer over HTTP from a background thread, so a long-running sweep (or
+a future prediction service) is scrapeable *while it runs* — Prometheus
+polls ``/metrics``, a load balancer polls ``/healthz``, and ``/spans``
+streams the recorded span log as JSONL.  Everything rides on
+``http.server`` from the standard library: no third-party dependency,
+no new process, and near-zero cost when nobody scrapes (the server
+thread sleeps in ``select`` inside ``serve_forever``).
+
+Endpoints
+---------
+``GET /metrics``
+    The registry snapshot in OpenMetrics text format
+    (:mod:`repro.obs.openmetrics`), ``Content-Type:
+    application/openmetrics-text``.
+``GET /healthz``
+    JSON liveness document: status, uptime, pid, span/scrape counters.
+``GET /spans``
+    The tracer's finished spans, one JSON object per line (the same
+    format ``Tracer.export_jsonl`` writes), oldest first.
+
+Usage::
+
+    exporter = MetricsExporter(metrics, tracer=tracer, port=9100)
+    with exporter:                      # or .start() / .stop()
+        run_sweep()                     # scrapeable the whole time
+
+``port=0`` (the default) binds an ephemeral port; read it back from
+``exporter.port`` / ``exporter.url`` after :meth:`start`.  The CLI face
+is ``repro serve-metrics`` (see :mod:`repro.cli`).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.openmetrics import render_openmetrics
+from repro.obs.tracer import Tracer
+
+_LOG = logging.getLogger(__name__)
+
+#: Content type the OpenMetrics spec mandates for text exposition.
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes one request; the exporter instance rides on the server."""
+
+    server: "_ExporterServer"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -----------------------------------------------------------
+
+    def log_message(self, fmt: str, *args: Any) -> None:
+        _LOG.debug("exporter: %s", fmt % args)
+
+    def _reply(self, status: int, body: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    # -- routes -------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        exporter = self.server.exporter
+        path = self.path.split("?", 1)[0]
+        try:
+            if path == "/metrics":
+                exporter.n_scrapes += 1
+                body = render_openmetrics(
+                    exporter.metrics.snapshot()
+                ).encode("utf-8")
+                self._reply(200, body, OPENMETRICS_CONTENT_TYPE)
+            elif path == "/healthz":
+                body = (json.dumps(exporter.health(), sort_keys=True)
+                        + "\n").encode("utf-8")
+                self._reply(200, body, "application/json")
+            elif path == "/spans":
+                lines = [
+                    json.dumps(span, sort_keys=True)
+                    for span in sorted(exporter.tracer.spans(),
+                                       key=lambda s: s["ts"])
+                ]
+                body = ("\n".join(lines) + "\n" if lines else "").encode(
+                    "utf-8"
+                )
+                self._reply(200, body, "application/x-ndjson")
+            else:
+                body = (json.dumps({
+                    "error": "not found",
+                    "endpoints": ["/metrics", "/healthz", "/spans"],
+                }) + "\n").encode("utf-8")
+                self._reply(404, body, "application/json")
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # scraper went away mid-reply; nothing to clean up
+
+
+class _ExporterServer(ThreadingHTTPServer):
+    daemon_threads = True
+    #: Back-reference set by MetricsExporter.start().
+    exporter: "MetricsExporter"
+
+
+class MetricsExporter:
+    """Background-thread HTTP server over a registry and tracer."""
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry,
+        tracer: Optional[Tracer] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.metrics = metrics
+        #: Tracer backing ``/spans``; a disabled tracer serves an empty
+        #: log, which keeps the endpoint shape stable.
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.host = host
+        self.requested_port = port
+        self.n_scrapes = 0
+        self.started_at: Optional[float] = None
+        self._server: Optional[_ExporterServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "MetricsExporter":
+        """Bind and serve from a daemon thread; idempotent."""
+        if self._server is not None:
+            return self
+        server = _ExporterServer((self.host, self.requested_port), _Handler)
+        server.exporter = self
+        self._server = server
+        self.started_at = time.time()
+        self._thread = threading.Thread(
+            target=server.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="repro-metrics-exporter",
+            daemon=True,
+        )
+        self._thread.start()
+        _LOG.info("metrics exporter serving on %s", self.url)
+        return self
+
+    def stop(self) -> None:
+        """Shut the server down and join the thread; idempotent."""
+        server, thread = self._server, self._thread
+        self._server = self._thread = None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "MetricsExporter":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._server is not None
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the ephemeral pick)."""
+        if self._server is None:
+            return self.requested_port
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return "http://%s:%d" % (self.host, self.port)
+
+    def health(self) -> Dict[str, Any]:
+        """The ``/healthz`` document."""
+        return {
+            "status": "ok",
+            "pid": os.getpid(),
+            "uptime_s": (time.time() - self.started_at
+                         if self.started_at else 0.0),
+            "n_scrapes": self.n_scrapes,
+            "n_spans": self.tracer.n_spans,
+        }

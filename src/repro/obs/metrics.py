@@ -42,11 +42,61 @@ def _label_items(labels: Dict[str, Any]) -> LabelItems:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+#: Characters in a label value that force the quoted-and-escaped form.
+_UNSAFE_LABEL_CHARS = frozenset(',={}"\\\n')
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value for quoted exposition (OpenMetrics rules).
+
+    Exactly three escapes exist in the text format: backslash, double
+    quote and line feed.  Everything else passes through verbatim, so
+    ``unescape_label_value`` is an exact inverse.
+    """
+    return (value.replace("\\", "\\\\")
+                 .replace('"', '\\"')
+                 .replace("\n", "\\n"))
+
+
+def unescape_label_value(value: str) -> str:
+    """Exact inverse of :func:`escape_label_value`."""
+    out: List[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "n":
+                out.append("\n")
+                i += 2
+                continue
+            if nxt in ('"', "\\"):
+                out.append(nxt)
+                i += 2
+                continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
 def render_key(name: str, labels: LabelItems) -> str:
-    """Human-readable ``name{k=v,...}`` form used in tables and logs."""
+    """Human-readable ``name{k=v,...}`` form used in tables and logs.
+
+    Values are rendered bare while they contain no structural character;
+    a value holding any of ``, = { } " \\`` or a newline is emitted in
+    the quoted-and-escaped OpenMetrics form instead, so rendered keys
+    survive a round-trip through text formats and JSON without two
+    different label sets ever colliding on one rendered string.
+    """
     if not labels:
         return name
-    return "%s{%s}" % (name, ",".join("%s=%s" % kv for kv in labels))
+    parts = []
+    for key, value in labels:
+        if _UNSAFE_LABEL_CHARS.isdisjoint(value):
+            parts.append("%s=%s" % (key, value))
+        else:
+            parts.append('%s="%s"' % (key, escape_label_value(value)))
+    return "%s{%s}" % (name, ",".join(parts))
 
 
 class CounterMetric:
@@ -114,9 +164,12 @@ class HistogramMetric:
         """Upper bucket edge at or above the p-th percentile (0..100).
 
         Values in the overflow bucket resolve to the observed maximum.
+        An empty histogram has no percentiles: the result is ``nan``
+        (explicitly — callers render it or skip it, they never mistake
+        it for a real zero-latency observation).
         """
         if not self.count:
-            return 0.0
+            return float("nan")
         target = self.count * min(max(p, 0.0), 100.0) / 100.0
         cumulative = 0
         for i, n in enumerate(self.counts):

@@ -1,0 +1,334 @@
+"""OpenMetrics/Prometheus text exposition of a metrics snapshot.
+
+:func:`render_openmetrics` turns any :meth:`MetricsRegistry.snapshot`
+structure into the OpenMetrics text format — the lingua franca every
+Prometheus-compatible scraper speaks — so a running sweep or prediction
+service exposes its counters, gauges and histograms at ``/metrics``
+(:mod:`repro.obs.exporter`) without any third-party dependency.
+
+Format contract (the subset this module emits and validates):
+
+* counter families end in ``_total`` and carry ``# TYPE <family> counter``;
+* gauges are plain samples under ``# TYPE <family> gauge``;
+* histograms expose cumulative ``<family>_bucket{le="..."}`` samples
+  ending in ``le="+Inf"``, plus exact ``<family>_sum`` and
+  ``<family>_count`` (the running sum is tracked exactly by
+  :class:`~repro.obs.metrics.HistogramMetric`, never reconstructed from
+  bucket midpoints);
+* label values are quoted with the three OpenMetrics escapes
+  (backslash, double quote, line feed);
+* the exposition ends with ``# EOF``.
+
+:func:`validate_openmetrics` is the matching dependency-free checker
+(same spirit as :mod:`repro.obs.schema`, which dispatches its
+``openmetrics`` kind here): it re-parses an exposition and verifies
+line syntax, name legality, counter monotonicity hints, and the
+histogram invariants (cumulative buckets, ``+Inf`` == ``_count``).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import escape_label_value, unescape_label_value
+
+#: Legal OpenMetrics metric-family name.
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+#: One exposition sample line: name, optional labels, value.
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+#: One label inside a sample's label set (value quoted, escapes kept).
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+_TYPES = ("counter", "gauge", "histogram", "unknown")
+
+
+def metric_name(name: str) -> str:
+    """A registry metric name as a legal OpenMetrics family name.
+
+    Registry names are dotted (``pipeline.stage_ms``); OpenMetrics
+    names admit ``[a-zA-Z0-9_:]`` only, so every illegal character
+    becomes ``_`` and a leading digit gains a ``_`` prefix.
+    """
+    sanitized = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def format_value(value: float) -> str:
+    """A sample value in exposition syntax (incl. ``+Inf``/``NaN``)."""
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _render_labels(labels: Dict[str, str],
+                   extra: Optional[Tuple[str, str]] = None) -> str:
+    items = sorted((str(k), str(v)) for k, v in labels.items())
+    if extra is not None:
+        items.append(extra)
+    if not items:
+        return ""
+    return "{%s}" % ",".join(
+        '%s="%s"' % (key, escape_label_value(value))
+        for key, value in items
+    )
+
+
+def render_openmetrics(snapshot: Dict[str, Any]) -> str:
+    """An OpenMetrics text exposition of one metrics snapshot.
+
+    Families are emitted sorted by name, counters first renamed to
+    their ``_total`` form; the result always terminates with ``# EOF``.
+    """
+    lines: List[str] = []
+    families: Dict[str, str] = {}
+
+    def _declare(family: str, om_type: str) -> None:
+        declared = families.get(family)
+        if declared is None:
+            families[family] = om_type
+            lines.append("# TYPE %s %s" % (family, om_type))
+        elif declared != om_type:
+            raise ValueError(
+                "metric family %r sanitizes to both %s and %s"
+                % (family, declared, om_type)
+            )
+
+    for entry in sorted(snapshot.get("counters", ()),
+                        key=lambda e: (metric_name(e["name"]),
+                                       sorted(e["labels"].items()))):
+        family = metric_name(entry["name"])
+        _declare(family, "counter")
+        lines.append("%s_total%s %s" % (
+            family, _render_labels(entry["labels"]),
+            format_value(entry["value"]),
+        ))
+    for entry in sorted(snapshot.get("gauges", ()),
+                        key=lambda e: (metric_name(e["name"]),
+                                       sorted(e["labels"].items()))):
+        family = metric_name(entry["name"])
+        _declare(family, "gauge")
+        lines.append("%s%s %s" % (
+            family, _render_labels(entry["labels"]),
+            format_value(entry["value"]),
+        ))
+    for entry in sorted(snapshot.get("histograms", ()),
+                        key=lambda e: (metric_name(e["name"]),
+                                       sorted(e["labels"].items()))):
+        family = metric_name(entry["name"])
+        _declare(family, "histogram")
+        labels = entry["labels"]
+        cumulative = 0
+        for bound, count in zip(entry["bounds"], entry["counts"]):
+            cumulative += count
+            lines.append("%s_bucket%s %s" % (
+                family,
+                _render_labels(labels, extra=("le", format_value(bound))),
+                format_value(cumulative),
+            ))
+        lines.append("%s_bucket%s %s" % (
+            family, _render_labels(labels, extra=("le", "+Inf")),
+            format_value(entry["count"]),
+        ))
+        lines.append("%s_sum%s %s" % (
+            family, _render_labels(labels), format_value(entry["sum"]),
+        ))
+        lines.append("%s_count%s %s" % (
+            family, _render_labels(labels), format_value(entry["count"]),
+        ))
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Parsing / validation
+# ---------------------------------------------------------------------------
+
+
+def parse_labels(text: str) -> Optional[Dict[str, str]]:
+    """Parse a sample's label body (``a="x",b="y"``); None when invalid."""
+    if not text:
+        return {}
+    labels: Dict[str, str] = {}
+    pos = 0
+    while pos < len(text):
+        match = _LABEL_RE.match(text, pos)
+        if match is None:
+            return None
+        labels[match.group(1)] = unescape_label_value(match.group(2))
+        pos = match.end()
+        if pos < len(text):
+            if text[pos] != ",":
+                return None
+            pos += 1
+    return labels
+
+
+def _parse_value(text: str) -> Optional[float]:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def _base_family(name: str, families: Dict[str, str]) -> Optional[str]:
+    """The declared family a sample name belongs to, if any."""
+    for suffix in ("_total", "_bucket", "_sum", "_count", ""):
+        if suffix and not name.endswith(suffix):
+            continue
+        base = name[:len(name) - len(suffix)] if suffix else name
+        if base in families:
+            return base
+    return None
+
+
+def validate_openmetrics(text: str) -> List[str]:
+    """Validate an OpenMetrics exposition; returns a list of errors.
+
+    Checks line syntax, family-name legality, the terminating ``# EOF``,
+    that counter/histogram samples use their mandated suffixes, that
+    histogram buckets are cumulative and the ``+Inf`` bucket equals
+    ``_count``, and that counter samples are non-negative.
+    """
+    errors: List[str] = []
+    lines = text.split("\n")
+    families: Dict[str, str] = {}
+    # (family, frozen labels minus le) → [(le, value)], plus sum/count
+    buckets: Dict[Tuple[str, tuple], List[Tuple[float, float]]] = {}
+    counts: Dict[Tuple[str, tuple], float] = {}
+    saw_eof = False
+
+    for lineno, line in enumerate(lines, 1):
+        if not line:
+            continue
+        if saw_eof:
+            errors.append("line %d: content after # EOF" % lineno)
+            break
+        if line.startswith("#"):
+            parts = line.split(" ")
+            if line == "# EOF":
+                saw_eof = True
+                continue
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                family, om_type = parts[2], parts[3]
+                if not _NAME_RE.match(family):
+                    errors.append(
+                        "line %d: illegal family name %r" % (lineno, family)
+                    )
+                if om_type not in _TYPES:
+                    errors.append(
+                        "line %d: unknown type %r" % (lineno, om_type)
+                    )
+                if family in families:
+                    errors.append(
+                        "line %d: duplicate TYPE for %r" % (lineno, family)
+                    )
+                families[family] = om_type
+                continue
+            if len(parts) >= 2 and parts[1] in ("HELP", "UNIT"):
+                continue
+            errors.append("line %d: unrecognized comment %r"
+                          % (lineno, line))
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            errors.append("line %d: not a valid sample line %r"
+                          % (lineno, line))
+            continue
+        name = match.group("name")
+        labels = parse_labels(match.group("labels") or "")
+        if labels is None:
+            errors.append("line %d: malformed labels %r"
+                          % (lineno, match.group("labels")))
+            continue
+        value = _parse_value(match.group("value"))
+        if value is None:
+            errors.append("line %d: malformed value %r"
+                          % (lineno, match.group("value")))
+            continue
+        family = _base_family(name, families)
+        if family is None:
+            continue  # sample of an undeclared family: tolerated
+        om_type = families[family]
+        if om_type == "counter":
+            if not name.endswith("_total"):
+                errors.append(
+                    "line %d: counter sample %r must end in _total"
+                    % (lineno, name)
+                )
+            elif value < 0:
+                errors.append(
+                    "line %d: negative counter value %r" % (lineno, value)
+                )
+        elif om_type == "histogram":
+            key_labels = tuple(sorted(
+                (k, v) for k, v in labels.items() if k != "le"
+            ))
+            key = (family, key_labels)
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    errors.append(
+                        "line %d: histogram bucket without le label"
+                        % lineno
+                    )
+                    continue
+                le = _parse_value(labels["le"])
+                if le is None:
+                    errors.append("line %d: malformed le %r"
+                                  % (lineno, labels["le"]))
+                    continue
+                buckets.setdefault(key, []).append((le, value))
+            elif name.endswith("_count"):
+                counts[key] = value
+
+    if not saw_eof:
+        errors.append("exposition does not end with # EOF")
+
+    for (family, labels), series in sorted(buckets.items()):
+        bounds = [le for le, _ in series]
+        values = [v for _, v in series]
+        if bounds != sorted(bounds):
+            errors.append("histogram %s%r: buckets not ordered by le"
+                          % (family, dict(labels)))
+        if values != sorted(values):
+            errors.append("histogram %s%r: bucket counts not cumulative"
+                          % (family, dict(labels)))
+        if not bounds or not math.isinf(bounds[-1]):
+            errors.append("histogram %s%r: missing le=\"+Inf\" bucket"
+                          % (family, dict(labels)))
+        elif (family, labels) in counts and values[-1] != counts[
+            (family, labels)
+        ]:
+            errors.append(
+                "histogram %s%r: +Inf bucket %s != _count %s"
+                % (family, dict(labels), values[-1],
+                   counts[(family, labels)])
+            )
+        if (family, labels) not in counts:
+            errors.append("histogram %s%r: missing _count sample"
+                          % (family, dict(labels)))
+    return errors
+
+
+def validate_openmetrics_file(path: str) -> List[str]:
+    """Validate one exposition file (the ``repro.obs.schema`` hook)."""
+    with open(path, encoding="utf-8") as handle:
+        return validate_openmetrics(handle.read())

@@ -70,6 +70,11 @@ class _SpanHandle:
         self.parent_id = stack[-1] if stack else 0
         self.span_id = next(_IDS)
         stack.append(self.span_id)
+        # Cross-thread view of open span names (keyed by thread ident)
+        # so the sampling profiler can attribute a sampled stack to the
+        # pipeline stage the sampled thread is currently inside.
+        names = self.tracer._open_names
+        names.setdefault(threading.get_ident(), []).append(self.name)
         self._start = time.perf_counter()
         return self
 
@@ -79,6 +84,12 @@ class _SpanHandle:
         stack = tracer._stack()
         if stack and stack[-1] == self.span_id:
             stack.pop()
+        tid = threading.get_ident()
+        open_names = tracer._open_names.get(tid)
+        if open_names:
+            open_names.pop()
+            if not open_names:
+                tracer._open_names.pop(tid, None)
         record: Dict[str, Any] = {
             "id": self.span_id,
             "parent": self.parent_id,
@@ -108,6 +119,9 @@ class Tracer:
         self._lock = threading.Lock()
         self._local = threading.local()
         self._spans: List[Dict[str, Any]] = []
+        #: thread ident → names of that thread's currently-open spans
+        #: (outermost first); read by the sampling profiler.
+        self._open_names: Dict[int, List[str]] = {}
 
     # -- recording ----------------------------------------------------------
 
@@ -143,6 +157,19 @@ class Tracer:
         if stack is None:
             stack = self._local.stack = []
         return stack
+
+    def open_span_names(self, tid: Optional[int] = None) -> tuple:
+        """Names of the spans currently open on a thread (outermost
+        first); the calling thread's by default.
+
+        Safe to call from *another* thread — this is how the sampling
+        profiler maps a sampled stack to the pipeline stage that thread
+        is executing.  The view is a snapshot and may trail the sampled
+        thread by an in-flight span push/pop.
+        """
+        if tid is None:
+            tid = threading.get_ident()
+        return tuple(self._open_names.get(tid, ()))
 
     # -- collection ---------------------------------------------------------
 
@@ -191,6 +218,7 @@ class Tracer:
         self._lock = threading.Lock()
         self._local = threading.local()
         self._spans = []
+        self._open_names = {}
 
 
 #: Process-wide disabled tracer: the default collaborator everywhere.

@@ -154,6 +154,7 @@ class Pipeline:
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
         timeline_interval: Optional[float] = None,
+        ledger=None,
     ):
         if store is not None and cache_dir is not None:
             raise ValueError("pass either store or cache_dir, not both")
@@ -175,6 +176,12 @@ class Pipeline:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         #: Oracle sampling period in cycles (None: no timeline).
         self.timeline_interval = timeline_interval
+        #: Optional :class:`~repro.obs.ledger.PredictionLedger`: every
+        #: evaluation appends one provenance + accuracy record.  The
+        #: ledger holds only a path and run id, so it travels into pool
+        #: workers, which append to the same file (one O_APPEND line
+        #: per record — no coordination needed).
+        self.ledger = ledger
 
     # -- plumbing -----------------------------------------------------------
 
@@ -623,6 +630,8 @@ class Pipeline:
         from repro.core.model import resident_warps_per_core
         from repro.harness.runner import KernelResult  # circular at import
 
+        started = time.perf_counter()
+        timings_before = dict(self.timings) if self.ledger else {}
         oracle = self.simulate(kernel_name, config, warps_per_core)
         inputs = self.model_inputs(
             kernel_name,
@@ -647,7 +656,7 @@ class Pipeline:
             "mt_mshr": mt_cpi + prediction.cpi_mshr,
             "mt_mshr_band": prediction.cpi,
         }
-        return KernelResult(
+        result = KernelResult(
             kernel=kernel_name,
             policy=config.scheduler,
             n_warps=n_warps,
@@ -656,6 +665,38 @@ class Pipeline:
             oracle=oracle,
             prediction=prediction,
         )
+        if self.ledger is not None:
+            self._ledger_append(result, config, inputs, timings_before,
+                                started)
+        return result
+
+    def _ledger_append(self, result, config, inputs, timings_before,
+                       started) -> None:
+        """Append one provenance + accuracy record for an evaluation.
+
+        Stage seconds are the *delta* this evaluation added to the
+        registry (cache hits contribute zero, exactly like the stage
+        counters), so the record carries where this prediction's time
+        actually went.
+        """
+        from repro.obs.ledger import build_record
+
+        timings_after = self.timings
+        stage_seconds = {
+            stage: timings_after[stage] - timings_before.get(stage, 0.0)
+            for stage in timings_after
+        }
+        record = build_record(
+            result,
+            config,
+            self.scale,
+            backend=current_backend(),
+            cache_result=inputs.cache_result,
+            stage_seconds=stage_seconds,
+            duration_s=time.perf_counter() - started,
+        )
+        self.ledger.append(record)
+        self.metrics.counter("ledger.records").inc()
 
     # -- parallel sweep execution -------------------------------------------
 

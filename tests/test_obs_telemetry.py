@@ -1,0 +1,854 @@
+"""Telemetry stack: OpenMetrics exposition, the live HTTP exporter,
+the sampling profiler, the prediction ledger and its watchdog, and the
+HTML dashboard."""
+
+import json
+import math
+import pickle
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.harness.runner import Runner
+from repro.obs import (
+    MetricsExporter,
+    MetricsRegistry,
+    OPENMETRICS_CONTENT_TYPE,
+    PredictionLedger,
+    SamplingProfiler,
+    Tracer,
+    compare_ledgers,
+    diff_snapshots,
+    escape_label_value,
+    read_ledger,
+    render_dashboard,
+    render_key,
+    render_openmetrics,
+    unescape_label_value,
+    validate_openmetrics,
+)
+from repro.obs.ledger import per_kernel_errors, runs
+from repro.obs.openmetrics import metric_name, parse_labels
+from repro.obs.sampler import profile_call, wait_for_samples
+from repro.obs.schema import load_schema, validate, validate_file
+from repro.workloads import Scale
+
+
+@pytest.fixture
+def config():
+    return GPUConfig.small(n_cores=2, warps_per_core=8)
+
+
+def _fetch(url):
+    with urllib.request.urlopen(url, timeout=5.0) as response:
+        return response.status, dict(response.headers), response.read()
+
+
+# ---------------------------------------------------------------------------
+# Satellites: label escaping, histogram edge cases
+# ---------------------------------------------------------------------------
+
+
+class TestLabelEscaping:
+    @pytest.mark.parametrize("value", [
+        "plain", 'with"quote', "back\\slash", "line\nfeed",
+        'all\\of"them\ntogether', "", "\\\\", '""',
+    ])
+    def test_escape_round_trips(self, value):
+        assert unescape_label_value(escape_label_value(value)) == value
+
+    def test_escape_is_openmetrics_three(self):
+        assert escape_label_value('a\\b"c\nd') == 'a\\\\b\\"c\\nd'
+
+    def test_render_key_bare_when_safe(self):
+        assert render_key("n", (("a", "1"), ("b", "2"))) == "n{a=1,b=2}"
+
+    def test_render_key_quotes_unsafe_values(self):
+        key = render_key("n", (("path", 'a"b'),))
+        assert key == 'n{path="a\\"b"}'
+
+    def test_render_key_quotes_newline_and_comma(self):
+        assert render_key("n", (("a", "x\ny"),)) == 'n{a="x\\ny"}'
+        assert render_key("n", (("a", "x,y"),)) == 'n{a="x,y"}'
+
+    def test_distinct_values_stay_distinct(self):
+        # The raison d'etre: these collided under naive rendering.
+        a = render_key("n", (("k", 'v",x="1'),))
+        b = render_key("n", (("k", "v"), ("x", "1")))
+        assert a != b
+
+
+class TestHistogramEdgeCases:
+    def test_empty_percentile_is_nan(self):
+        metrics = MetricsRegistry()
+        histogram = metrics.histogram("h", buckets=(1, 2, 4))
+        assert math.isnan(histogram.percentile(50))
+        assert math.isnan(histogram.percentile(0))
+        assert math.isnan(histogram.percentile(100))
+
+    def test_sum_is_exact_not_bucket_midpoints(self):
+        metrics = MetricsRegistry()
+        histogram = metrics.histogram("h", buckets=(1, 10, 100))
+        for value in (0.25, 3.5, 42.0, 1000.0):
+            histogram.observe(value)
+        assert histogram.sum == 0.25 + 3.5 + 42.0 + 1000.0
+        assert histogram.count == 4
+        assert histogram.max == 1000.0
+
+    def test_nonempty_percentiles_still_defined(self):
+        metrics = MetricsRegistry()
+        histogram = metrics.histogram("h", buckets=(1, 2, 4))
+        histogram.observe(1.5)
+        assert histogram.percentile(50) == 2
+
+
+# ---------------------------------------------------------------------------
+# Satellites: diff/merge across worker round-trips
+# ---------------------------------------------------------------------------
+
+
+def _worker_round_trip(registry, mutate, protocol=pickle.HIGHEST_PROTOCOL):
+    """Simulate one pool-worker round trip: the registry is pickled into
+    the worker (as spawn does; fork shares then copies-on-write, which
+    pickle over-approximates), mutated there, and the activity *delta*
+    is shipped back — exactly what the pipeline's worker path does."""
+    worker = pickle.loads(pickle.dumps(registry, protocol=protocol))
+    baseline = worker.snapshot()
+    mutate(worker)
+    return diff_snapshots(worker.snapshot(), baseline)
+
+
+class TestSnapshotMergeDiff:
+    def _seed(self):
+        registry = MetricsRegistry()
+        registry.counter("stage.runs", stage="trace").inc(3)
+        registry.histogram("stage.ms", buckets=(1, 10, 100),
+                           stage="trace").observe(5.0)
+        registry.histogram("stage.ms", buckets=(1, 10, 100),
+                           stage="oracle").observe(50.0)
+        return registry
+
+    @pytest.mark.parametrize("protocol", [2, pickle.HIGHEST_PROTOCOL])
+    def test_overlapping_labeled_histograms_merge_exactly(self, protocol):
+        parent = self._seed()
+
+        def work_a(worker):
+            worker.histogram("stage.ms", buckets=(1, 10, 100),
+                             stage="trace").observe(0.5)
+            worker.counter("stage.runs", stage="trace").inc()
+
+        def work_b(worker):
+            worker.histogram("stage.ms", buckets=(1, 10, 100),
+                             stage="trace").observe(200.0)
+            worker.histogram("stage.ms", buckets=(1, 10, 100),
+                             stage="cache_sim").observe(2.0)
+
+        for delta in (
+            _worker_round_trip(parent, work_a, protocol),
+            _worker_round_trip(parent, work_b, protocol),
+        ):
+            parent.merge(delta)
+
+        trace = parent.histogram("stage.ms", buckets=(1, 10, 100),
+                                 stage="trace")
+        assert trace.count == 3  # seed + worker A + worker B
+        assert trace.sum == pytest.approx(5.0 + 0.5 + 200.0)
+        assert trace.max == 200.0
+        assert parent.counter_value("stage.runs", stage="trace") == 4
+        new = parent.histogram("stage.ms", buckets=(1, 10, 100),
+                               stage="cache_sim")
+        assert new.count == 1 and new.sum == 2.0
+
+    def test_delta_excludes_preexisting_activity(self):
+        parent = self._seed()
+        delta = _worker_round_trip(parent, lambda w: None)
+        assert delta["counters"] == []
+        assert delta["histograms"] == []
+
+    def test_merged_registry_survives_second_round_trip(self):
+        # fork-then-spawn in sequence: merge a delta, pickle the merged
+        # parent again, mutate, merge again — totals stay exact.
+        parent = self._seed()
+        parent.merge(_worker_round_trip(
+            parent,
+            lambda w: w.histogram("stage.ms", buckets=(1, 10, 100),
+                                  stage="trace").observe(7.0),
+        ))
+        parent.merge(_worker_round_trip(
+            parent,
+            lambda w: w.histogram("stage.ms", buckets=(1, 10, 100),
+                                  stage="trace").observe(9.0),
+        ))
+        trace = parent.histogram("stage.ms", buckets=(1, 10, 100),
+                                 stage="trace")
+        assert trace.count == 3
+        assert trace.sum == pytest.approx(5.0 + 7.0 + 9.0)
+
+    def test_merge_rejects_mismatched_bounds(self):
+        parent = self._seed()
+        foreign = MetricsRegistry()
+        foreign.histogram("stage.ms", buckets=(1, 2), stage="trace").observe(1)
+        with pytest.raises(ValueError):
+            parent.merge(foreign.snapshot())
+
+
+# ---------------------------------------------------------------------------
+# OpenMetrics exposition
+# ---------------------------------------------------------------------------
+
+
+class TestOpenMetrics:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.counter("pipeline.stage_executions", stage="trace").inc(2)
+        registry.counter("pipeline.stage_executions", stage="oracle").inc()
+        registry.gauge("workers.active").set(3)
+        hist = registry.histogram("stage.ms", buckets=(1, 10, 100),
+                                  stage="trace")
+        hist.observe(0.5)
+        hist.observe(42.0)
+        return registry
+
+    def test_render_validates_clean(self):
+        text = render_openmetrics(self._registry().snapshot())
+        assert validate_openmetrics(text) == []
+
+    def test_counter_renamed_to_total(self):
+        text = render_openmetrics(self._registry().snapshot())
+        assert "# TYPE pipeline_stage_executions counter" in text
+        assert 'pipeline_stage_executions_total{stage="trace"} 2' in text
+
+    def test_gauge_plain(self):
+        text = render_openmetrics(self._registry().snapshot())
+        assert "# TYPE workers_active gauge" in text
+        assert "workers_active 3" in text
+
+    def test_histogram_cumulative_with_inf_sum_count(self):
+        text = render_openmetrics(self._registry().snapshot())
+        assert 'stage_ms_bucket{stage="trace",le="1"} 1' in text
+        assert 'stage_ms_bucket{stage="trace",le="100"} 2' in text
+        assert 'stage_ms_bucket{stage="trace",le="+Inf"} 2' in text
+        assert 'stage_ms_sum{stage="trace"} 42.5' in text
+        assert 'stage_ms_count{stage="trace"} 2' in text
+
+    def test_ends_with_eof(self):
+        text = render_openmetrics(self._registry().snapshot())
+        assert text.endswith("# EOF\n")
+
+    def test_label_escapes_round_trip_through_parse(self):
+        registry = MetricsRegistry()
+        nasty = 'ker"nel\\with\nnewline'
+        registry.counter("runs", kernel=nasty).inc()
+        text = render_openmetrics(registry.snapshot())
+        assert validate_openmetrics(text) == []
+        sample = [line for line in text.splitlines()
+                  if line.startswith("runs_total{")][0]
+        labels = parse_labels(sample[len("runs_total{"):sample.index("} ")])
+        assert labels == {"kernel": nasty}
+
+    def test_metric_name_sanitization(self):
+        assert metric_name("pipeline.stage_ms") == "pipeline_stage_ms"
+        assert metric_name("9lives") == "_9lives"
+        assert metric_name("a-b c") == "a_b_c"
+
+    def test_type_collision_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("stage.ms").inc()
+        registry.histogram("stage_ms", buckets=(1,)).observe(0.5)
+        with pytest.raises(ValueError):
+            render_openmetrics(registry.snapshot())
+
+    # -- the validator actually catches broken documents --------------------
+
+    def test_validator_rejects_missing_eof(self):
+        assert any("EOF" in e for e in validate_openmetrics(
+            "# TYPE a counter\na_total 1\n"
+        ))
+
+    def test_validator_rejects_non_cumulative_buckets(self):
+        text = ("# TYPE h histogram\n"
+                'h_bucket{le="1"} 5\nh_bucket{le="2"} 3\n'
+                'h_bucket{le="+Inf"} 5\nh_sum 1\nh_count 5\n# EOF\n')
+        assert any("cumulative" in e for e in validate_openmetrics(text))
+
+    def test_validator_rejects_inf_count_mismatch(self):
+        text = ("# TYPE h histogram\n"
+                'h_bucket{le="1"} 1\nh_bucket{le="+Inf"} 2\n'
+                "h_sum 1\nh_count 3\n# EOF\n")
+        assert any("_count" in e for e in validate_openmetrics(text))
+
+    def test_validator_rejects_counter_without_total(self):
+        text = "# TYPE c counter\nc 1\n# EOF\n"
+        assert any("_total" in e for e in validate_openmetrics(text))
+
+    def test_validator_rejects_negative_counter(self):
+        text = "# TYPE c counter\nc_total -1\n# EOF\n"
+        assert any("negative" in e for e in validate_openmetrics(text))
+
+    def test_validator_rejects_garbage_line(self):
+        text = "# TYPE c counter\nnot a sample line at all !\n# EOF\n"
+        assert validate_openmetrics(text)
+
+    def test_schema_cli_dispatches_openmetrics(self, tmp_path):
+        good = tmp_path / "good.om"
+        good.write_text(render_openmetrics(self._registry().snapshot()))
+        assert validate_file("openmetrics", str(good)) == []
+        bad = tmp_path / "bad.om"
+        bad.write_text("# TYPE c counter\nc_total -1\n")
+        assert validate_file("openmetrics", str(bad))
+
+
+# ---------------------------------------------------------------------------
+# HTTP exporter
+# ---------------------------------------------------------------------------
+
+
+class TestExporter:
+    def test_metrics_endpoint_serves_valid_openmetrics(self):
+        registry = MetricsRegistry()
+        registry.counter("runs", kernel="vectoradd").inc(7)
+        with MetricsExporter(registry) as exporter:
+            status, headers, body = _fetch(exporter.url + "/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == OPENMETRICS_CONTENT_TYPE
+        text = body.decode("utf-8")
+        assert validate_openmetrics(text) == []
+        assert 'runs_total{kernel="vectoradd"} 7' in text
+
+    def test_scrape_mid_run_sees_live_counters(self, config):
+        """The acceptance check: a sweep is scrapeable *while* it runs,
+        every scrape a valid exposition, counters visibly advancing."""
+        runner = Runner(config, Scale.tiny())
+        done = threading.Event()
+
+        def sweep():
+            try:
+                for kernel in ("vectoradd", "strided_deg8"):
+                    runner.evaluate(kernel, warps_per_core=4)
+            finally:
+                done.set()
+
+        with MetricsExporter(runner.metrics) as exporter:
+            thread = threading.Thread(target=sweep, daemon=True)
+            thread.start()
+            mid_run_scrapes = 0
+            last = ""
+            while not done.is_set():
+                _, _, body = _fetch(exporter.url + "/metrics")
+                last = body.decode("utf-8")
+                assert validate_openmetrics(last) == []
+                mid_run_scrapes += 1
+            thread.join(timeout=30.0)
+            _, _, body = _fetch(exporter.url + "/metrics")
+            final = body.decode("utf-8")
+        assert mid_run_scrapes >= 1
+        assert validate_openmetrics(final) == []
+        assert "pipeline_stage_executions_total" in final
+        assert exporter.n_scrapes == mid_run_scrapes + 1
+        assert last  # at least one mid-run exposition was non-empty
+
+    def test_healthz(self):
+        with MetricsExporter(MetricsRegistry()) as exporter:
+            status, _, body = _fetch(exporter.url + "/healthz")
+        assert status == 200
+        health = json.loads(body)
+        assert health["status"] == "ok"
+        assert health["n_spans"] == 0
+
+    def test_spans_endpoint_streams_ndjson(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        with MetricsExporter(MetricsRegistry(), tracer=tracer) as exporter:
+            status, headers, body = _fetch(exporter.url + "/spans")
+        assert status == 200
+        assert headers["Content-Type"] == "application/x-ndjson"
+        names = [json.loads(line)["name"]
+                 for line in body.decode().splitlines()]
+        assert set(names) == {"outer", "inner"}
+
+    def test_unknown_path_404(self):
+        with MetricsExporter(MetricsRegistry()) as exporter:
+            try:
+                _fetch(exporter.url + "/nope")
+                status = 200
+            except urllib.error.HTTPError as exc:
+                status = exc.code
+                payload = json.loads(exc.read())
+        assert status == 404
+        assert "/metrics" in payload["endpoints"]
+
+    def test_lifecycle_idempotent(self):
+        exporter = MetricsExporter(MetricsRegistry())
+        assert not exporter.running
+        exporter.start()
+        exporter.start()
+        assert exporter.running and exporter.port > 0
+        exporter.stop()
+        exporter.stop()
+        assert not exporter.running
+
+
+# ---------------------------------------------------------------------------
+# Sampling profiler
+# ---------------------------------------------------------------------------
+
+
+def _spin(deadline_event):
+    while not deadline_event.is_set():
+        sum(i * i for i in range(500))
+
+
+class TestSampler:
+    def test_samples_running_code(self):
+        stop = threading.Event()
+        worker = threading.Thread(target=_spin, args=(stop,), daemon=True)
+        worker.start()
+        profiler = SamplingProfiler(interval=0.002)
+        with profiler:
+            assert wait_for_samples(profiler, 5)
+        stop.set()
+        worker.join()
+        assert profiler.n_samples >= 5
+        assert any("_spin" in frame for stack in profiler.stacks()
+                   for frame in stack)
+
+    def test_collapsed_format(self):
+        profiler = SamplingProfiler(interval=0.002)
+        profiler._stacks[("a:f", "b:g")] = 3
+        profiler._stacks[("a:f",)] = 1
+        lines = profiler.collapsed()
+        assert lines == ["a:f;b:g 3", "a:f 1"]
+
+    def test_write_collapsed(self, tmp_path):
+        profiler = SamplingProfiler()
+        profiler._stacks[("m:f",)] = 2
+        out = tmp_path / "stacks.txt"
+        profiler.write_collapsed(str(out))
+        assert out.read_text() == "m:f 2\n"
+
+    def test_span_attribution(self):
+        tracer = Tracer(enabled=True)
+        profiler = SamplingProfiler(interval=0.001, tracer=tracer)
+        seen = threading.Event()
+        stop = threading.Event()
+
+        def staged():
+            with tracer.span("trace"):
+                seen.set()
+                _spin(stop)
+
+        worker = threading.Thread(target=staged, daemon=True)
+        worker.start()
+        seen.wait(5.0)
+        for _ in range(20):
+            profiler.sample_once()
+        stop.set()
+        worker.join()
+        spans = profiler.by_span()
+        assert spans.get("trace", 0) > 0
+        assert any(stack[0] == "stage:trace"
+                   for stack in profiler.stacks())
+
+    def test_hot_frames_are_leaves(self):
+        profiler = SamplingProfiler()
+        profiler._stacks[("root:r", "leaf:a")] = 5
+        profiler._stacks[("root:r", "leaf:b")] = 2
+        assert profiler.hot_frames(top=1) == [("leaf:a", 5)]
+
+    def test_by_span_without_tracer(self):
+        profiler = SamplingProfiler()
+        profiler._stacks[("m:f",)] = 4
+        assert profiler.by_span() == {"(no span)": 4}
+
+    def test_profile_call(self):
+        result, profiler = profile_call(lambda: 42, interval=0.001)
+        assert result == 42
+        assert not profiler.running
+
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(interval=0.0)
+
+
+class TestTracerOpenSpans:
+    def test_open_span_names_nesting(self):
+        tracer = Tracer(enabled=True)
+        assert tracer.open_span_names() == ()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                assert tracer.open_span_names() == ("outer", "inner")
+            assert tracer.open_span_names() == ("outer",)
+        assert tracer.open_span_names() == ()
+
+    def test_open_span_names_cross_thread(self):
+        tracer = Tracer(enabled=True)
+        inside = threading.Event()
+        release = threading.Event()
+        tid_holder = []
+
+        def work():
+            tid_holder.append(threading.get_ident())
+            with tracer.span("worker-stage"):
+                inside.set()
+                release.wait(5.0)
+
+        thread = threading.Thread(target=work, daemon=True)
+        thread.start()
+        inside.wait(5.0)
+        assert tracer.open_span_names(tid_holder[0]) == ("worker-stage",)
+        release.set()
+        thread.join()
+        assert tracer.open_span_names(tid_holder[0]) == ()
+
+    def test_pickled_tracer_has_no_open_spans(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer"):
+            clone = pickle.loads(pickle.dumps(tracer))
+        assert clone.open_span_names() == ()
+
+
+# ---------------------------------------------------------------------------
+# Prediction ledger
+# ---------------------------------------------------------------------------
+
+
+class TestLedger:
+    def test_append_read_round_trip(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = PredictionLedger(str(path))
+        ledger.append({"kernel": "k", "value": 1.0})
+        ledger.append({"kernel": "k2", "value": float("nan")})
+        records = read_ledger(str(path))
+        assert len(records) == 2
+        assert records[0]["run_id"] == ledger.run_id
+        assert records[0]["ts"] > 0
+        assert records[1]["value"] is None  # NaN sanitized, not 0.0
+
+    def test_rotate_run(self, tmp_path):
+        ledger = PredictionLedger(str(tmp_path / "l.jsonl"))
+        first = ledger.run_id
+        ledger.append({"kernel": "a"})
+        second = ledger.rotate_run()
+        ledger.append({"kernel": "a"})
+        assert first != second
+        grouped = runs(read_ledger(ledger.path))
+        assert [run_id for run_id, _ in grouped] == [first, second]
+
+    def test_ledger_is_picklable(self, tmp_path):
+        ledger = PredictionLedger(str(tmp_path / "l.jsonl"))
+        clone = pickle.loads(pickle.dumps(ledger))
+        assert clone.path == ledger.path
+        assert clone.run_id == ledger.run_id
+        clone.append({"kernel": "from-worker"})
+        assert read_ledger(ledger.path)[0]["kernel"] == "from-worker"
+
+    def test_per_kernel_errors_takes_last(self):
+        records = [
+            {"kernel": "k", "ts": 1, "errors": {"mt_mshr_band": 0.5}},
+            {"kernel": "k", "ts": 2, "errors": {"mt_mshr_band": 0.1}},
+        ]
+        assert per_kernel_errors(records) == {"k": 0.1}
+
+    def test_pipeline_record_validates_against_schema(
+        self, config, tmp_path
+    ):
+        path = tmp_path / "ledger.jsonl"
+        runner = Runner(config, Scale.tiny(), ledger=PredictionLedger(
+            str(path)
+        ))
+        runner.evaluate("vectoradd", warps_per_core=4)
+        records = read_ledger(str(path))
+        assert len(records) == 1
+        record = records[0]
+        schema = load_schema("ledger")
+        assert validate(record, schema) == []
+        assert record["kernel"] == "vectoradd"
+        assert record["fingerprint"]
+        assert record["arch"] == config.arch
+        assert set(record["model_cpis"]) == {
+            "naive", "markov", "mt", "mt_mshr", "mt_mshr_band"
+        }
+        assert "BASE" in record["cpi_stack"]
+        assert 0.0 <= record["cache"]["l1_miss_rate"] <= 1.0
+        assert record["stage_seconds"]  # fresh run: stages executed
+        assert record["duration_s"] > 0
+        assert runner.metrics.counter_value("ledger.records") == 1
+
+    def test_parallel_workers_append_all_records(self, config, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        runner = Runner(config, Scale.tiny(), jobs=2,
+                        ledger=PredictionLedger(str(path)))
+        kernels = ("vectoradd", "strided_deg8", "transpose_naive")
+        runner.evaluate_many(
+            [{"kernel": k, "warps_per_core": 4} for k in kernels]
+        )
+        records = read_ledger(str(path))
+        assert sorted(r["kernel"] for r in records) == sorted(kernels)
+        assert {r["run_id"] for r in records} == {runner.pipeline.ledger.run_id}
+
+    def test_cached_reevaluation_still_appends(self, config, tmp_path):
+        # Accuracy history wants one record per *evaluation*, even when
+        # every artifact comes from the store.
+        path = tmp_path / "ledger.jsonl"
+        runner = Runner(config, Scale.tiny(),
+                        ledger=PredictionLedger(str(path)))
+        runner.evaluate("vectoradd", warps_per_core=4)
+        runner.evaluate("vectoradd", warps_per_core=4)
+        assert len(read_ledger(str(path))) == 2
+
+
+# ---------------------------------------------------------------------------
+# Accuracy watchdog
+# ---------------------------------------------------------------------------
+
+
+def _record(kernel, error, run_id="r1", ts=1.0):
+    return {
+        "kernel": kernel, "run_id": run_id, "ts": ts,
+        "errors": {"mt_mshr_band": error},
+    }
+
+
+class TestWatchdog:
+    def test_self_compare_is_clean(self):
+        records = [_record("a", 0.05), _record("b", 0.10)]
+        report = compare_ledgers(records, records)
+        assert not report.has_regressions
+        assert len(report.rows) == 2
+
+    def test_fault_injection_trips_the_gate(self):
+        """The CI-gate demonstration: inflate one kernel's error beyond
+        tolerance and the watchdog must fail."""
+        baseline = [_record("a", 0.05), _record("b", 0.10)]
+        current = [_record("a", 0.05), _record("b", 0.10 + 0.03)]
+        report = compare_ledgers(baseline, current, tolerance=0.02)
+        assert report.has_regressions
+        assert [r.kernel for r in report.regressions] == ["b"]
+        assert report.regressions[0].delta == pytest.approx(0.03)
+
+    def test_within_tolerance_passes(self):
+        baseline = [_record("a", 0.05)]
+        current = [_record("a", 0.06)]
+        assert not compare_ledgers(
+            baseline, current, tolerance=0.02
+        ).has_regressions
+
+    def test_rel_tolerance_adds_budget(self):
+        baseline = [_record("a", 0.10)]
+        current = [_record("a", 0.145)]
+        assert compare_ledgers(baseline, current, tolerance=0.02,
+                               rel_tolerance=0.0).has_regressions
+        assert not compare_ledgers(baseline, current, tolerance=0.02,
+                                   rel_tolerance=0.5).has_regressions
+
+    def test_missing_kernel_is_coverage_loss(self):
+        baseline = [_record("a", 0.05), _record("b", 0.05)]
+        current = [_record("a", 0.05)]
+        report = compare_ledgers(baseline, current)
+        assert report.has_regressions
+        assert report.regressions[0].note == "missing from current"
+        assert not compare_ledgers(
+            baseline, current, allow_missing=True
+        ).has_regressions
+
+    def test_new_kernel_is_informational(self):
+        report = compare_ledgers([_record("a", 0.05)],
+                                 [_record("a", 0.05), _record("new", 0.9)])
+        assert not report.has_regressions
+        notes = {r.kernel: r.note for r in report.rows}
+        assert "new" in notes["new"]
+
+    def test_becoming_degenerate_regresses(self):
+        baseline = [_record("a", 0.05)]
+        current = [_record("a", None)]
+        report = compare_ledgers(baseline, current)
+        assert report.has_regressions
+        assert report.regressions[0].note == "degenerate oracle"
+
+    def test_latest_record_wins_within_a_ledger(self):
+        baseline = [_record("a", 0.05)]
+        current = [_record("a", 0.50, ts=1.0), _record("a", 0.05, ts=2.0)]
+        assert not compare_ledgers(baseline, current).has_regressions
+
+    def test_report_render_and_dict(self):
+        report = compare_ledgers([_record("a", 0.05)],
+                                 [_record("a", 0.20)])
+        text = report.render_text()
+        assert "REGRESSED" in text and "a" in text
+        payload = report.to_dict()
+        assert payload["n_regressions"] == 1
+        assert payload["rows"][0]["regressed"] is True
+
+
+# ---------------------------------------------------------------------------
+# Dashboard
+# ---------------------------------------------------------------------------
+
+
+def _ledger_history():
+    records = []
+    for i, run_id in enumerate(("run-1", "run-2", "run-3")):
+        for kernel, base in (("vectoradd", 0.02), ("strided_deg8", 0.06)):
+            records.append({
+                "kernel": kernel, "run_id": run_id, "ts": 10.0 * i + 1,
+                "arch": "gpumech2014", "backend": "vectorized",
+                "oracle_cpi": 2.0,
+                "model_cpis": {"mt_mshr_band": 2.0 * (1 + base + 0.01 * i)},
+                "errors": {"mt_mshr_band": base + 0.01 * i},
+                "cpi_stack": {"BASE": 1.0, "DEP": 0.4, "L1": 0.2,
+                              "L2": 0.1, "DRAM": 0.2, "MSHR": 0.05,
+                              "QUEUE": 0.05, "SFU": 0.0, "SMEM": 0.0},
+                "cache": {"l1_miss_rate": 0.3 + 0.01 * i,
+                          "l2_miss_rate": 0.5},
+            })
+    return records
+
+
+class TestDashboard:
+    def test_renders_multi_run_history(self):
+        html = render_dashboard(_ledger_history())
+        assert "<svg" in html and "polyline" in html
+        assert "Prediction error per kernel" in html
+        assert "CPI-stack attribution" in html
+        assert "Cache miss-rate trends" in html
+        assert "vectoradd" in html and "strided_deg8" in html
+        assert "3 run(s)" in html
+
+    def test_drift_direction_marked_not_color_alone(self):
+        html = render_dashboard(_ledger_history())
+        assert "▲" in html  # errors rise across the synthetic runs
+
+    def test_dark_mode_is_selected_palette(self):
+        html = render_dashboard(_ledger_history())
+        assert "prefers-color-scheme: dark" in html
+        assert 'data-theme="dark"' in html
+        assert "#3987e5" in html  # dark-mode series-1, not an auto-invert
+
+    def test_kernel_names_are_escaped(self):
+        records = _ledger_history()
+        for record in records:
+            record["kernel"] = "<script>alert(1)</script>"
+        html = render_dashboard(records)
+        assert "<script>alert" not in html
+
+    def test_single_run_renders_without_sparklines(self):
+        records = [r for r in _ledger_history() if r["run_id"] == "run-1"]
+        html = render_dashboard(records)
+        assert "1 run(s)" in html
+        assert "n/a" in html  # a 1-point trend is not a line
+
+    def test_bench_table(self, tmp_path):
+        (tmp_path / "BENCH_obs.json").write_text(
+            json.dumps({"baseline_s": 1.5, "enabled_s": 1.6, "note": "x"})
+        )
+        from repro.obs import collect_bench
+        bench = collect_bench(str(tmp_path))
+        html = render_dashboard(_ledger_history(), bench=bench)
+        assert "BENCH_obs.json" in html and "baseline_s" in html
+
+    def test_write_dashboard(self, tmp_path):
+        from repro.obs import write_dashboard
+        out = tmp_path / "dash.html"
+        write_dashboard(str(out), _ledger_history())
+        assert out.read_text().startswith("<!DOCTYPE html>")
+
+
+# ---------------------------------------------------------------------------
+# CLI faces
+# ---------------------------------------------------------------------------
+
+
+class TestTelemetryCLI:
+    def _seed_ledgers(self, tmp_path, drift=0.0):
+        from repro.cli import main
+
+        baseline = tmp_path / "baseline.jsonl"
+        for kernel, error in (("a", 0.05), ("b", 0.10)):
+            PredictionLedger(str(baseline), run_id="base").append(
+                _record(kernel, error)
+            )
+        current = tmp_path / "current.jsonl"
+        for kernel, error in (("a", 0.05), ("b", 0.10 + drift)):
+            PredictionLedger(str(current), run_id="cur").append(
+                _record(kernel, error)
+            )
+        return main, str(baseline), str(current)
+
+    def test_watchdog_exit_zero_when_clean(self, tmp_path, capsys):
+        main, baseline, current = self._seed_ledgers(tmp_path)
+        assert main(["watchdog", "--baseline", baseline,
+                     "--current", current]) == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+
+    def test_watchdog_exit_nonzero_on_regression(self, tmp_path, capsys):
+        main, baseline, current = self._seed_ledgers(tmp_path, drift=0.05)
+        assert main(["watchdog", "--baseline", baseline,
+                     "--current", current]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_watchdog_json_format(self, tmp_path, capsys):
+        main, baseline, current = self._seed_ledgers(tmp_path, drift=0.05)
+        assert main(["watchdog", "--baseline", baseline, "--current",
+                     current, "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_regressions"] == 1
+
+    def test_dash_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "ledger.jsonl"
+        ledger = PredictionLedger(str(path))
+        for run in range(2):
+            if run:
+                ledger.rotate_run()
+            ledger.append(
+                {"kernel": "a", "errors": {"mt_mshr_band": 0.05 + 0.01 * run}}
+            )
+        out = tmp_path / "dash.html"
+        assert main(["dash", str(path), "--out", str(out)]) == 0
+        assert "2 run(s)" in capsys.readouterr().out
+        assert "<svg" in out.read_text()
+
+    def test_dash_empty_ledger_errors(self, tmp_path):
+        from repro.cli import main
+
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["dash", str(path),
+                     "--out", str(tmp_path / "x.html")]) == 2
+
+    def test_validate_with_ledger_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "ledger.jsonl"
+        assert main(["--ledger", str(path), "validate", "vectoradd",
+                     "--scale", "tiny", "--warps", "4", "-q"]) == 0
+        records = read_ledger(str(path))
+        assert len(records) == 1
+        assert validate(records[0], load_schema("ledger")) == []
+
+    def test_serve_metrics_parser(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve-metrics", "--suite-kernel", "vectoradd",
+             "--repeat", "2", "--port", "0", "--scale", "tiny"]
+        )
+        assert args.command == "serve-metrics"
+        assert args.kernels == ["vectoradd"]
+        assert args.repeat == 2
+
+    def test_profile_sample_parser(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["profile", "--sample", "--sample-out", "x.txt",
+             "--sample-interval", "0.005", "--scale", "tiny"]
+        )
+        assert args.sample and args.sample_out == "x.txt"
+        assert args.sample_interval == 0.005
