@@ -22,6 +22,11 @@ Subcommands
     Static cost analysis (trip counts, coalescing classes, occupancy,
     CPI bounds) plus the xcheck sanitizer comparing the dynamic trace
     against the static facts; nonzero exit on any xcheck mismatch.
+``concheck``
+    Concurrency- and fork-safety analysis of the codebase itself
+    (thread-escape, lock discipline, pool-boundary pickling, mutable
+    globals); ``--runtime`` adds the lock-sanitizer sweep.  Nonzero
+    exit unless every finding is fixed or allowlisted.
 ``profile``
     Evaluate kernels with tracing, metrics and oracle timeline sampling
     on; writes a Chrome-trace/Perfetto file and prints stage timings.
@@ -366,6 +371,51 @@ def _cmd_depcheck(args) -> int:
     return 1 if report.has_errors else 0
 
 
+def _cmd_concheck(args) -> int:
+    from repro.concheck import (
+        Allowlist,
+        ConDiagnostic,
+        analyze_concurrency,
+        runtime_sweep,
+    )
+    from repro.staticcheck.report import Severity
+
+    report = analyze_concurrency()
+    if args.runtime:
+        scale = _SCALES[args.scale]()
+        summary, findings, _kernels = runtime_sweep(
+            scale=scale, jobs=args.jobs
+        )
+        report.runtime = summary
+        for finding in findings:
+            report.diagnostics.append(ConDiagnostic(
+                check_id=finding["check_id"],
+                severity=Severity.ERROR,
+                subject=finding["subject"],
+                message=finding["message"],
+                where="runtime sweep",
+            ))
+
+    allowlist = None
+    if args.allowlist and os.path.exists(args.allowlist):
+        allowlist = Allowlist.load(args.allowlist)
+        report.apply_allowlist(allowlist)
+
+    if args.format == "json":
+        # Machine-readable output bypasses the logging layer (see lint).
+        print(report.to_json())
+    else:
+        emit(report.render_text(verbose=args.show_facts))
+        if allowlist is not None:
+            for entry in allowlist.unused():
+                emit(
+                    "note: stale allowlist entry %s:%d (%s %s) waived "
+                    "nothing" % (allowlist.path, entry.lineno,
+                                 entry.check_id, entry.pattern)
+                )
+    return 0 if report.clean else 1
+
+
 def _cmd_characterize(args) -> int:
     from repro.analysis import (
         characterize,
@@ -665,6 +715,32 @@ def build_parser() -> argparse.ArgumentParser:
                           help="workload scale for the runtime sweep")
     _add_obs_args(depcheck)
 
+    concheck = sub.add_parser(
+        "concheck",
+        help="verify concurrency and fork safety (thread-escape, lock "
+        "discipline, pool-boundary pickling, global-mutable census; "
+        "optionally the runtime lock sanitizer)",
+    )
+    concheck.add_argument("--runtime", action="store_true",
+                          help="also sweep the suite under the "
+                          "REPRO_CONCHECK lock sanitizer with live "
+                          "exporter/sampler threads")
+    concheck.add_argument("--format", choices=("text", "json"),
+                          default="text", help="report output format")
+    concheck.add_argument("--allowlist", default="concheck-allow.txt",
+                          help="justified-exception file (default "
+                          "%(default)s; missing file = empty list)")
+    concheck.add_argument("--scale", choices=sorted(_SCALES),
+                          default="tiny",
+                          help="workload scale for the runtime sweep")
+    concheck.add_argument("--jobs", type=int, default=1,
+                          help="worker processes for the runtime sweep "
+                          "(>1 exercises the pool boundary)")
+    concheck.add_argument("--show-facts", action="store_true",
+                          help="list thread roots, lock→field maps, "
+                          "order edges and the global census")
+    _add_obs_args(concheck)
+
     profile = sub.add_parser(
         "profile",
         help="evaluate kernels with span tracing, metrics and a "
@@ -788,6 +864,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "lint": _cmd_lint,
         "analyze": _cmd_analyze,
         "depcheck": _cmd_depcheck,
+        "concheck": _cmd_concheck,
         "profile": _cmd_profile,
         "serve-metrics": _cmd_serve_metrics,
         "watchdog": _cmd_watchdog,

@@ -1,0 +1,203 @@
+"""Lock-discipline inference (concheck pass 2).
+
+Two questions, both answered from the extracted facts:
+
+* **Guard consistency** — for each shared field, do all its mutation
+  sites agree on a guarding lock?  A field written under ``self._lock``
+  in four methods and bare in a fifth gets a WARNING: the lock protects
+  nothing if any writer bypasses it.
+* **Acquisition order** — build the static lock-order graph.  A direct
+  edge A→B means some function acquires B while holding A (nested
+  ``with``); a *closure* edge means a function called while holding A
+  transitively acquires B.  A cycle of two or more locks is potential
+  deadlock (two threads taking the locks in opposite orders); a
+  self-loop on a non-reentrant lock is guaranteed deadlock on the path
+  that triggers it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.concheck.facts import INIT_METHODS, CodeFacts
+from repro.concheck.report import ConDiagnostic
+from repro.staticcheck.report import Severity
+
+
+def _method_name(qualname: str) -> str:
+    return qualname.rsplit(".", 1)[-1]
+
+
+def guarded_fields(facts: CodeFacts) -> Dict[str, List[str]]:
+    """Lock subject → sorted shared fields accessed under it."""
+    mapping: Dict[str, Set[str]] = {lock: set() for lock in facts.locks}
+    for access in facts.all_accesses():
+        for lock in access.locks:
+            mapping.setdefault(lock, set()).add(access.subject)
+    return {lock: sorted(fields) for lock, fields in mapping.items()}
+
+
+def check_guard_consistency(
+    facts: CodeFacts, skip: Set[str]
+) -> List[ConDiagnostic]:
+    """WARN on fields guarded only sometimes.
+
+    ``skip`` holds subjects already reported as thread-shared ERRORs;
+    repeating them as WARNINGs would be noise.
+    """
+    writes_by_subject: Dict[str, List] = {}
+    for access in facts.all_accesses():
+        if access.kind != "write":
+            continue
+        if _method_name(access.fn) in INIT_METHODS:
+            continue
+        writes_by_subject.setdefault(access.subject, []).append(access)
+
+    diagnostics: List[ConDiagnostic] = []
+    for subject in sorted(writes_by_subject):
+        if subject in skip or "." not in subject:
+            continue
+        writes = writes_by_subject[subject]
+        locksets = {w.locks for w in writes}
+        if len(locksets) <= 1:
+            continue  # every write agrees (all bare or all same locks)
+        common = frozenset.intersection(*locksets)
+        if common:
+            continue  # disagreement above a shared guard is fine
+        guarded = [w for w in writes if w.locks]
+        bare = [w for w in writes if not w.locks]
+        if not guarded or not bare:
+            # Disjoint non-empty locksets with no common lock: treat
+            # like sometimes-guarded, witness the first write.
+            bare = writes[:1]
+        lock_names = sorted({
+            lock for w in guarded for lock in w.locks
+        })
+        diagnostics.append(ConDiagnostic(
+            check_id="concheck-inconsistent-guard",
+            severity=Severity.WARNING,
+            subject=subject,
+            message="written under %s at %d site(s) but bare at %s"
+                    % (", ".join(lock_names), len(guarded),
+                       bare[0].where),
+            where=bare[0].where,
+        ))
+    return diagnostics
+
+
+# ---------------------------------------------------------------------------
+# Lock-order graph
+# ---------------------------------------------------------------------------
+
+
+def _transitive_acquires(facts: CodeFacts) -> Dict[str, FrozenSet[str]]:
+    """Fixpoint: locks each function may acquire, directly or via calls."""
+    direct: Dict[str, Set[str]] = {}
+    callees: Dict[str, Set[str]] = {}
+    for qualname, fn_facts in facts.functions.items():
+        direct[qualname] = {lock for lock, _ in fn_facts.acquired}
+        callees[qualname] = {c for c, _, _ in fn_facts.calls}
+    acquired = {q: set(locks) for q, locks in direct.items()}
+    changed = True
+    while changed:
+        changed = False
+        for qualname in acquired:
+            before = len(acquired[qualname])
+            for callee in callees[qualname]:
+                acquired[qualname] |= acquired.get(callee, set())
+            if len(acquired[qualname]) != before:
+                changed = True
+    return {q: frozenset(locks) for q, locks in acquired.items()}
+
+
+def lock_order_edges(
+    facts: CodeFacts,
+) -> Dict[Tuple[str, str], str]:
+    """(held, acquired) → witness location, direct and via calls."""
+    transitive = _transitive_acquires(facts)
+    edges: Dict[Tuple[str, str], str] = {}
+    for fn_facts in facts.functions.values():
+        for outer, inner, where in fn_facts.nest_edges:
+            edges.setdefault((outer, inner), where)
+        for callee, held, where in fn_facts.calls:
+            if not held:
+                continue
+            for inner in transitive.get(callee, ()):
+                for outer in held:
+                    edges.setdefault(
+                        (outer, inner),
+                        "%s (via %s)" % (where, callee),
+                    )
+    return edges
+
+
+def check_lock_order(facts: CodeFacts) -> Tuple[
+    List[ConDiagnostic], List[str]
+]:
+    """Cycle / reentry detection over the static lock-order graph."""
+    edges = lock_order_edges(facts)
+    diagnostics: List[ConDiagnostic] = []
+
+    graph: Dict[str, Set[str]] = {}
+    for (outer, inner), where in sorted(edges.items()):
+        if outer == inner:
+            lock = facts.locks.get(outer)
+            if lock is not None and not lock.reentrant:
+                diagnostics.append(ConDiagnostic(
+                    check_id="concheck-lock-reentry",
+                    severity=Severity.ERROR,
+                    subject=outer,
+                    message="non-reentrant lock may be re-acquired "
+                            "while already held",
+                    where=where,
+                ))
+            continue
+        graph.setdefault(outer, set()).add(inner)
+
+    # Mutual reachability: A and B are in a cycle iff each reaches the
+    # other.  The lock graph is tiny, so closure-per-node is fine.
+    reach: Dict[str, Set[str]] = {}
+    for node in graph:
+        seen: Set[str] = set()
+        stack = list(graph[node])
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(graph.get(current, ()))
+        reach[node] = seen
+
+    reported: Set[FrozenSet[str]] = set()
+    for node in sorted(graph):
+        cycle = {
+            other for other in reach.get(node, ())
+            if node in reach.get(other, ())
+        }
+        if not cycle:
+            continue
+        members = frozenset(cycle | {node})
+        if members in reported:
+            continue
+        reported.add(members)
+        ordered = sorted(members)
+        witnesses = [
+            "%s -> %s at %s" % (a, b, edges[(a, b)])
+            for a in ordered for b in ordered
+            if (a, b) in edges
+        ]
+        diagnostics.append(ConDiagnostic(
+            check_id="concheck-lock-order-cycle",
+            severity=Severity.ERROR,
+            subject=" <-> ".join(ordered),
+            message="locks acquired in conflicting orders: %s"
+                    % "; ".join(witnesses[:4]),
+            where=witnesses[0].rsplit(" at ", 1)[-1] if witnesses else "",
+        ))
+
+    rendered = [
+        "%s -> %s (%s)" % (outer, inner, where)
+        for (outer, inner), where in sorted(edges.items())
+        if outer != inner
+    ]
+    return diagnostics, rendered

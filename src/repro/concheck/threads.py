@@ -1,0 +1,148 @@
+"""Thread-escape analysis (concheck pass 1).
+
+Thread *roots* are functions the codebase hands to a spawned thread:
+``threading.Thread(target=self._run)`` resolves ``_run``; a handler
+class passed to a ``ThreadingHTTPServer``-style constructor makes every
+handler method a root (the server calls them on per-request threads).
+Everything transitively callable from a root runs in *thread context*.
+
+A shared-state subject is diagnosed when it is
+
+* accessed from both thread context and non-thread context (ignoring
+  constructor-phase methods, which run before the object is shared),
+* written at least once outside construction, and
+* the intersection of the lock sets over all those writes is empty —
+  i.e. no single lock orders every mutation.
+
+Reads with no lock are deliberately *not* diagnosed on their own:
+lock-free snapshot reads of reference-assigned values are an explicit,
+documented idiom here (see ``docs/concurrency.md``); it is unordered
+**writes** that break the serial-vs-parallel identity guarantee.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.concheck.facts import INIT_METHODS, Access, CodeFacts
+from repro.concheck.report import ConDiagnostic
+from repro.staticcheck.report import Severity
+
+
+def _method_name(qualname: str) -> str:
+    return qualname.rsplit(".", 1)[-1]
+
+
+def thread_roots(facts: CodeFacts) -> Tuple[List[str], List[str]]:
+    """Functions directly entered on a spawned thread.
+
+    Returns ``(roots, parallel_roots)``.  *Parallel* roots are handler
+    methods: a threading server runs them on a fresh thread per
+    request, so they race against **themselves** — unlocked writes
+    there are racy even with no access from outside thread context.
+    """
+    roots: Set[str] = set()
+    parallel: Set[str] = set()
+    for fn_facts in facts.functions.values():
+        for site in fn_facts.thread_sites:
+            if site.kind == "resolved" and site.target:
+                roots.add(site.target)
+        for handler in fn_facts.handler_classes:
+            cls = facts.index.classes.get(handler)
+            if cls is None:
+                continue
+            for method in cls.methods.values():
+                roots.add(method.qualname)
+                parallel.add(method.qualname)
+    return sorted(roots), sorted(parallel)
+
+
+def reachable_from(facts: CodeFacts, roots: List[str]) -> Set[str]:
+    """Transitive closure of the static call graph from ``roots``."""
+    graph: Dict[str, Set[str]] = {}
+    for qualname, fn_facts in facts.functions.items():
+        graph[qualname] = {callee for callee, _, _ in fn_facts.calls}
+    seen: Set[str] = set()
+    stack = [root for root in roots if root in graph]
+    while stack:
+        current = stack.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        for callee in graph.get(current, ()):
+            if callee not in seen:
+                stack.append(callee)
+    return seen
+
+
+def check_thread_shared(
+    facts: CodeFacts,
+) -> Tuple[List[ConDiagnostic], List[str], Set[str]]:
+    """Run the pass.
+
+    Returns ``(diagnostics, roots, diagnosed_subjects)`` — the subject
+    set lets the lock-discipline pass avoid double-reporting.
+    """
+    roots, parallel_roots = thread_roots(facts)
+    in_thread = reachable_from(facts, roots)
+    in_parallel = reachable_from(facts, parallel_roots)
+    diagnostics: List[ConDiagnostic] = []
+    diagnosed: Set[str] = set()
+
+    # Unresolvable Thread targets blind the closure: surface them.
+    for fn_facts in facts.functions.values():
+        for site in fn_facts.thread_sites:
+            if site.kind == "unresolved":
+                diagnostics.append(ConDiagnostic(
+                    check_id="concheck-unresolved-thread-target",
+                    severity=Severity.WARNING,
+                    subject=fn_facts.fn.qualname,
+                    message="cannot resolve Thread target %r; "
+                            "thread-escape analysis is blind past it"
+                            % site.text,
+                    where=site.where,
+                ))
+
+    by_subject: Dict[str, List[Access]] = {}
+    for access in facts.all_accesses():
+        if _method_name(access.fn) in INIT_METHODS:
+            continue
+        by_subject.setdefault(access.subject, []).append(access)
+
+    for subject in sorted(by_subject):
+        accesses = by_subject[subject]
+        inside = [a for a in accesses if a.fn in in_thread]
+        outside = [a for a in accesses if a.fn not in in_thread]
+        writes = [a for a in accesses if a.kind == "write"]
+        if not inside or not writes:
+            continue
+        parallel_writes = [w for w in writes if w.fn in in_parallel]
+        if not outside and not parallel_writes:
+            continue
+        common = frozenset.intersection(*(w.locks for w in writes))
+        if common:
+            continue
+        bare = next((w for w in writes if not w.locks), writes[0])
+        if outside:
+            threaded = sorted({a.fn for a in inside})
+            message = (
+                "written without a common lock (%d write(s)) but "
+                "reachable from thread context via %s"
+                % (len(writes), ", ".join(threaded[:3]))
+            )
+        else:
+            message = (
+                "written without a common lock inside %s, which runs "
+                "on a fresh thread per request and races against "
+                "itself" % parallel_writes[0].fn
+            )
+        diagnostics.append(ConDiagnostic(
+            check_id="concheck-thread-shared",
+            severity=Severity.ERROR,
+            subject=subject,
+            message=message,
+            where=bare.where,
+        ))
+        diagnosed.add(subject)
+
+    return diagnostics, roots, diagnosed

@@ -52,6 +52,17 @@ def _strip_wrappers(text: str) -> str:
     return text
 
 
+def _is_classish(name: str) -> bool:
+    """Whether a bare name plausibly denotes a class.
+
+    Covers both public ``CamelCase`` names and the module-private
+    ``_CamelCase`` convention (``_ExporterServer``, ``_SpanHandle``)
+    the concurrency analyzer has to see through.
+    """
+    stripped = name.lstrip("_")
+    return bool(stripped) and stripped[0].isupper()
+
+
 @dataclass
 class FunctionInfo:
     """One function or method definition."""
@@ -118,6 +129,10 @@ class ModuleInfo:
     #: ``from repro.trace.emulator import emulate``, "repro.arch" for
     #: ``import repro.arch``).
     imports: Dict[str, str] = field(default_factory=dict)
+    #: Module-level name -> the value expression last assigned to it
+    #: (``Assign``/``AnnAssign`` at module scope; annotation-only
+    #: declarations are skipped).  Feeds the global-mutable census.
+    global_assigns: Dict[str, ast.expr] = field(default_factory=dict)
 
 
 def _collect_imports(body: List[ast.stmt], into: Dict[str, str]) -> None:
@@ -149,8 +164,13 @@ def _called_class_name(value: ast.expr) -> Optional[Tuple[str, str]]:
     """``ClassName(...)`` -> ("instance", name); list thereof -> list."""
     if isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
         name = value.func.id
-        if name and name[0].isupper():
+        if _is_classish(name):
             return ("instance", name)
+    if isinstance(value, ast.IfExp):
+        # ``tracer if tracer is not None else get_tracer()`` — either
+        # branch naming a class ties the expression to that class.
+        return (_called_class_name(value.body)
+                or _called_class_name(value.orelse))
     if isinstance(value, ast.ListComp):
         elt = _called_class_name(value.elt)
         if elt is not None and elt[0] == "instance":
@@ -181,7 +201,7 @@ def _summarise_class(info: ClassInfo) -> None:
         stripped = _strip_wrappers(text)
         if stripped in ("GPUConfig",):
             config_attrs.add(stmt.target.id)
-        elif stripped and stripped[0].isupper():
+        elif _is_classish(stripped):
             kind = (
                 "list"
                 if text.startswith(("List[", "list[", "Sequence[", "Tuple["))
@@ -197,7 +217,7 @@ def _summarise_class(info: ClassInfo) -> None:
                 config_params.add(param)
             else:
                 stripped = _strip_wrappers(annotation)
-                if stripped and stripped[0].isupper():
+                if _is_classish(stripped):
                     typed_params[param] = stripped
         for node in ast.walk(method.node):
             if not isinstance(node, ast.Assign):
@@ -209,18 +229,26 @@ def _summarise_class(info: ClassInfo) -> None:
                     and target.value.id == "self"
                 ):
                     continue
-                value = node.value
-                if isinstance(value, ast.Name):
-                    if value.id in config_params:
-                        config_attrs.add(target.attr)
-                    elif value.id in typed_params:
-                        attr_types[target.attr] = (
-                            "instance", typed_params[value.id]
-                        )
-                else:
-                    typed = _called_class_name(value)
-                    if typed is not None:
-                        attr_types[target.attr] = typed
+                values = [node.value]
+                if isinstance(node.value, ast.IfExp):
+                    # ``self.tracer = tracer if ... else get_tracer()``:
+                    # either branch may carry the type.
+                    values = [node.value.body, node.value.orelse]
+                for value in values:
+                    if isinstance(value, ast.Name):
+                        if value.id in config_params:
+                            config_attrs.add(target.attr)
+                            break
+                        if value.id in typed_params:
+                            attr_types[target.attr] = (
+                                "instance", typed_params[value.id]
+                            )
+                            break
+                    else:
+                        typed = _called_class_name(value)
+                        if typed is not None:
+                            attr_types[target.attr] = typed
+                            break
     info.config_attrs = frozenset(config_attrs)
     info.attr_types = attr_types
 
@@ -288,6 +316,14 @@ class ModuleIndex:
         info = ModuleInfo(name=name, node=tree)
         _collect_imports(tree.body, info.imports)
         for stmt in tree.body:
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        info.global_assigns[target.id] = stmt.value
+            elif (isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)
+                    and stmt.value is not None):
+                info.global_assigns[stmt.target.id] = stmt.value
             if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 info.functions[stmt.name] = FunctionInfo(
                     qualname="%s.%s" % (name, stmt.name),

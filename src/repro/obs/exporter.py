@@ -42,6 +42,7 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional
 
+from repro.concheck.runtime import make_lock, site_access
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.openmetrics import render_openmetrics
 from repro.obs.tracer import Tracer
@@ -79,7 +80,7 @@ class _Handler(BaseHTTPRequestHandler):
         path = self.path.split("?", 1)[0]
         try:
             if path == "/metrics":
-                exporter.n_scrapes += 1
+                exporter.note_scrape()
                 body = render_openmetrics(
                     exporter.metrics.snapshot()
                 ).encode("utf-8")
@@ -134,31 +135,90 @@ class MetricsExporter:
         self.started_at: Optional[float] = None
         self._server: Optional[_ExporterServer] = None
         self._thread: Optional[threading.Thread] = None
+        #: pid that called start(); a mismatch means we are a forked
+        #: child holding the parent's server state (the OS thread and
+        #: the serve loop exist only in the parent).
+        self._pid: Optional[int] = None
+        self._lock = make_lock("MetricsExporter._lock")
 
     # -- lifecycle ----------------------------------------------------------
 
+    def _forked(self) -> bool:
+        """True in a child that inherited a started exporter.
+
+        concheck: caller-holds MetricsExporter._lock
+        """
+        return self._pid is not None and self._pid != os.getpid()
+
+    def _drop_forked_state(self) -> None:
+        """Forget state inherited across ``fork``.
+
+        concheck: caller-holds MetricsExporter._lock
+
+        The inherited ``_thread`` handle claims to be alive but its OS
+        thread does not exist here: ``join`` would block for the full
+        timeout and ``server.shutdown()`` would wait forever for a
+        serve loop that is not running.  We close our copy of the
+        listening socket (the parent's stays open — descriptors are
+        per-process) and drop everything else.
+        """
+        server = self._server
+        self._server = None
+        self._thread = None
+        self._pid = None
+        self.started_at = None
+        if server is not None:
+            try:
+                server.server_close()
+            except OSError:
+                pass
+
     def start(self) -> "MetricsExporter":
-        """Bind and serve from a daemon thread; idempotent."""
-        if self._server is not None:
-            return self
-        server = _ExporterServer((self.host, self.requested_port), _Handler)
-        server.exporter = self
-        self._server = server
-        self.started_at = time.time()
-        self._thread = threading.Thread(
-            target=server.serve_forever,
-            kwargs={"poll_interval": 0.1},
-            name="repro-metrics-exporter",
-            daemon=True,
-        )
-        self._thread.start()
+        """Bind and serve from a daemon thread; idempotent.
+
+        In a forked child the inherited (dead) server state is dropped
+        first, so ``start()`` brings up a fresh server on a fresh port
+        instead of silently doing nothing.
+        """
+        with self._lock:
+            site_access("MetricsExporter._server")
+            if self._forked():
+                self._drop_forked_state()
+            if self._server is not None:
+                return self
+            server = _ExporterServer(
+                (self.host, self.requested_port), _Handler
+            )
+            server.exporter = self
+            self._server = server
+            self._pid = os.getpid()
+            self.started_at = time.time()
+            thread = threading.Thread(
+                target=server.serve_forever,
+                kwargs={"poll_interval": 0.1},
+                name="repro-metrics-exporter",
+                daemon=True,
+            )
+            self._thread = thread
+        thread.start()
         _LOG.info("metrics exporter serving on %s", self.url)
         return self
 
     def stop(self) -> None:
-        """Shut the server down and join the thread; idempotent."""
-        server, thread = self._server, self._thread
-        self._server = self._thread = None
+        """Shut the server down and join the thread; idempotent.
+
+        In a forked child this only drops the inherited state — there
+        is no thread to join and no serve loop to shut down here.
+        """
+        with self._lock:
+            site_access("MetricsExporter._server")
+            if self._forked():
+                self._drop_forked_state()
+                return
+            server, thread = self._server, self._thread
+            self._server = self._thread = None
+            self._pid = None
+            self.started_at = None
         if server is not None:
             server.shutdown()
             server.server_close()
@@ -173,16 +233,29 @@ class MetricsExporter:
 
     # -- introspection ------------------------------------------------------
 
+    def note_scrape(self) -> None:
+        """Count one ``/metrics`` hit (handler threads race on this)."""
+        with self._lock:
+            site_access("MetricsExporter.n_scrapes")
+            self.n_scrapes += 1
+
     @property
     def running(self) -> bool:
-        return self._server is not None
+        """True while this process's own server thread is serving.
+
+        False in a forked child even though the inherited ``_server``
+        attribute is non-None — the serving thread lives in the parent.
+        """
+        with self._lock:
+            return self._server is not None and not self._forked()
 
     @property
     def port(self) -> int:
         """The bound port (resolves ``port=0`` to the ephemeral pick)."""
-        if self._server is None:
+        server = self._server
+        if server is None:
             return self.requested_port
-        return self._server.server_address[1]
+        return server.server_address[1]
 
     @property
     def url(self) -> str:
@@ -190,11 +263,14 @@ class MetricsExporter:
 
     def health(self) -> Dict[str, Any]:
         """The ``/healthz`` document."""
+        with self._lock:
+            started_at = self.started_at
+            n_scrapes = self.n_scrapes
         return {
             "status": "ok",
             "pid": os.getpid(),
-            "uptime_s": (time.time() - self.started_at
-                         if self.started_at else 0.0),
-            "n_scrapes": self.n_scrapes,
+            "uptime_s": (time.time() - started_at
+                         if started_at else 0.0),
+            "n_scrapes": n_scrapes,
             "n_spans": self.tracer.n_spans,
         }

@@ -19,10 +19,11 @@ histograms stay exact (to bucket resolution) without storing samples.
 from __future__ import annotations
 
 import json
-import threading
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from collections import Counter as _Counter
+
+from repro.concheck.runtime import make_lock, site_access
 
 LabelItems = Tuple[Tuple[str, str], ...]
 
@@ -100,29 +101,56 @@ def render_key(name: str, labels: LabelItems) -> str:
 
 
 class CounterMetric:
-    """Monotonically increasing value (int or float)."""
+    """Monotonically increasing value (int or float).
 
-    __slots__ = ("value",)
+    Mutations serialize on a per-metric lock so concurrent ``inc``
+    calls from the exporter's handler threads, the sampler and the
+    pipeline never lose an update.  Reading ``value`` without the lock
+    stays safe (one attribute load of an immutable number) and is the
+    documented snapshot idiom.
+    """
+
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value: float = 0
+        self._lock = make_lock("CounterMetric._lock")
 
     def inc(self, amount: float = 1) -> None:
         if amount < 0:
             raise ValueError("counters only increase; got %r" % (amount,))
-        self.value += amount
+        with self._lock:
+            site_access("CounterMetric.value")
+            self.value += amount
+
+    def __getstate__(self) -> Dict[str, Any]:
+        return {"value": self.value}
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.value = state["value"]
+        self._lock = make_lock("CounterMetric._lock")
 
 
 class GaugeMetric:
     """Last-write-wins value."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value: float = 0.0
+        self._lock = make_lock("GaugeMetric._lock")
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            site_access("GaugeMetric.value")
+            self.value = float(value)
+
+    def __getstate__(self) -> Dict[str, Any]:
+        return {"value": self.value}
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.value = state["value"]
+        self._lock = make_lock("GaugeMetric._lock")
 
 
 class HistogramMetric:
@@ -133,7 +161,7 @@ class HistogramMetric:
     exact; percentiles are resolved to the matching bucket edge.
     """
 
-    __slots__ = ("bounds", "counts", "sum", "count", "max")
+    __slots__ = ("bounds", "counts", "sum", "count", "max", "_lock")
 
     def __init__(self, bounds: Iterable[float]):
         self.bounds: Tuple[float, ...] = tuple(sorted(float(b) for b in bounds))
@@ -143,22 +171,54 @@ class HistogramMetric:
         self.sum: float = 0.0
         self.count: int = 0
         self.max: float = 0.0
+        self._lock = make_lock("HistogramMetric._lock")
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.sum += value
-        self.count += 1
-        if value > self.max:
-            self.max = value
-        for i, bound in enumerate(self.bounds):
-            if value <= bound:
-                self.counts[i] += 1
-                return
-        self.counts[-1] += 1
+        with self._lock:
+            site_access("HistogramMetric.counts")
+            self.sum += value
+            self.count += 1
+            if value > self.max:
+                self.max = value
+            for i, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self.counts[i] += 1
+                    return
+            self.counts[-1] += 1
+
+    def merge_entry(self, entry: Dict[str, Any]) -> None:
+        """Fold one snapshot entry in, atomically w.r.t. ``observe``."""
+        if list(self.bounds) != list(entry["bounds"]):
+            raise ValueError(
+                "histogram %r bucket bounds differ; cannot merge"
+                % entry["name"]
+            )
+        with self._lock:
+            site_access("HistogramMetric.counts")
+            for i, n in enumerate(entry["counts"]):
+                self.counts[i] += n
+            self.sum += entry["sum"]
+            self.count += entry["count"]
+            if entry["max"] > self.max:
+                self.max = entry["max"]
+
+    def entry(self) -> Dict[str, Any]:
+        """Consistent multi-field dump (the tear-free read path)."""
+        with self._lock:
+            site_access("HistogramMetric.counts", write=False)
+            return {
+                "bounds": list(self.bounds),
+                "counts": list(self.counts),
+                "sum": self.sum,
+                "count": self.count,
+                "max": self.max,
+            }
 
     @property
     def mean(self) -> float:
-        return self.sum / self.count if self.count else 0.0
+        with self._lock:
+            return self.sum / self.count if self.count else 0.0
 
     def percentile(self, p: float) -> float:
         """Upper bucket edge at or above the p-th percentile (0..100).
@@ -168,33 +228,60 @@ class HistogramMetric:
         (explicitly — callers render it or skip it, they never mistake
         it for a real zero-latency observation).
         """
-        if not self.count:
-            return float("nan")
-        target = self.count * min(max(p, 0.0), 100.0) / 100.0
-        cumulative = 0
-        for i, n in enumerate(self.counts):
-            cumulative += n
-            if cumulative >= target and n:
-                return self.bounds[i] if i < len(self.bounds) else self.max
-        return self.max
+        with self._lock:
+            if not self.count:
+                return float("nan")
+            target = self.count * min(max(p, 0.0), 100.0) / 100.0
+            cumulative = 0
+            for i, n in enumerate(self.counts):
+                cumulative += n
+                if cumulative >= target and n:
+                    return (self.bounds[i] if i < len(self.bounds)
+                            else self.max)
+            return self.max
+
+    def __getstate__(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "bounds": self.bounds,
+                "counts": list(self.counts),
+                "sum": self.sum,
+                "count": self.count,
+                "max": self.max,
+            }
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.bounds = state["bounds"]
+        self.counts = list(state["counts"])
+        self.sum = state["sum"]
+        self.count = state["count"]
+        self.max = state["max"]
+        self._lock = make_lock("HistogramMetric._lock")
 
 
 class MetricsRegistry:
     """Named, labeled metrics with snapshot/merge/diff support."""
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = make_lock("MetricsRegistry._lock")
         self._counters: Dict[Tuple[str, LabelItems], CounterMetric] = {}
         self._gauges: Dict[Tuple[str, LabelItems], GaugeMetric] = {}
         self._histograms: Dict[Tuple[str, LabelItems], HistogramMetric] = {}
 
     # -- accessors (get-or-create) ------------------------------------------
+    #
+    # The unlocked ``.get`` fast path is deliberate: a plain dict read
+    # is atomic under the GIL and the hit case (every call but the
+    # first per key) pays no lock.  Insertions always go through
+    # ``setdefault`` under the lock, so two racing first calls still
+    # agree on one metric object.
 
     def counter(self, name: str, **labels: Any) -> CounterMetric:
         key = (name, _label_items(labels))
         metric = self._counters.get(key)
         if metric is None:
             with self._lock:
+                site_access("MetricsRegistry._counters")
                 metric = self._counters.setdefault(key, CounterMetric())
         return metric
 
@@ -203,6 +290,7 @@ class MetricsRegistry:
         metric = self._gauges.get(key)
         if metric is None:
             with self._lock:
+                site_access("MetricsRegistry._gauges")
                 metric = self._gauges.setdefault(key, GaugeMetric())
         return metric
 
@@ -213,6 +301,7 @@ class MetricsRegistry:
         metric = self._histograms.get(key)
         if metric is None:
             with self._lock:
+                site_access("MetricsRegistry._histograms")
                 metric = self._histograms.setdefault(
                     key, HistogramMetric(buckets)
                 )
@@ -256,15 +345,7 @@ class MetricsRegistry:
                 for (name, labels), m in sorted(self._gauges.items())
             ]
             histograms = [
-                {
-                    "name": name,
-                    "labels": dict(labels),
-                    "bounds": list(m.bounds),
-                    "counts": list(m.counts),
-                    "sum": m.sum,
-                    "count": m.count,
-                    "max": m.max,
-                }
+                {"name": name, "labels": dict(labels), **m.entry()}
                 for (name, labels), m in sorted(self._histograms.items())
             ]
         return {"counters": counters, "gauges": gauges,
@@ -280,17 +361,7 @@ class MetricsRegistry:
             metric = self.histogram(
                 entry["name"], buckets=entry["bounds"], **entry["labels"]
             )
-            if list(metric.bounds) != list(entry["bounds"]):
-                raise ValueError(
-                    "histogram %r bucket bounds differ; cannot merge"
-                    % entry["name"]
-                )
-            for i, n in enumerate(entry["counts"]):
-                metric.counts[i] += n
-            metric.sum += entry["sum"]
-            metric.count += entry["count"]
-            if entry["max"] > metric.max:
-                metric.max = entry["max"]
+            metric.merge_entry(entry)
 
     def to_json(self, indent: Optional[int] = 2) -> str:
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
@@ -308,7 +379,7 @@ class MetricsRegistry:
 
     def __setstate__(self, state: Dict[str, Any]) -> None:
         self.__dict__.update(state)
-        self._lock = threading.Lock()
+        self._lock = make_lock("MetricsRegistry._lock")
 
 
 def _index(entries: Iterable[Dict[str, Any]]):

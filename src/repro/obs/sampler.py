@@ -25,12 +25,14 @@ flamegraph is wanted.
 
 from __future__ import annotations
 
+import os
 import sys
 import threading
 import time
 from collections import Counter
 from typing import Dict, List, Optional, Tuple
 
+from repro.concheck.runtime import make_lock, site_access
 from repro.obs.tracer import Tracer
 
 #: Default sampling period in seconds (~97 Hz; a prime-ish rate avoids
@@ -66,23 +68,45 @@ class SamplingProfiler:
         self._stacks: Counter = Counter()
         self._thread: Optional[threading.Thread] = None
         self._stop = threading.Event()
+        #: pid that called start(); a mismatch means we inherited a
+        #: started profiler across fork and its thread is not ours.
+        self._pid: Optional[int] = None
+        self._lock = make_lock("SamplingProfiler._lock")
 
     # -- lifecycle ----------------------------------------------------------
 
+    def _forked(self) -> bool:
+        """True in a forked child holding the parent's sampler state.
+
+        concheck: caller-holds SamplingProfiler._lock
+        """
+        return self._pid is not None and self._pid != os.getpid()
+
     def start(self) -> "SamplingProfiler":
-        if self._thread is not None:
-            return self
-        self._stop.clear()
-        self._thread = threading.Thread(
-            target=self._run, name="repro-sampler", daemon=True
-        )
-        self._thread.start()
+        with self._lock:
+            if self._forked():
+                # The inherited handle's OS thread exists only in the
+                # parent; drop it so we start a fresh one here.
+                self._thread = None
+                self._pid = None
+            if self._thread is not None:
+                return self
+            self._stop.clear()
+            thread = threading.Thread(
+                target=self._run, name="repro-sampler", daemon=True
+            )
+            self._thread = thread
+            self._pid = os.getpid()
+        thread.start()
         return self
 
     def stop(self) -> None:
-        thread = self._thread
-        self._thread = None
-        if thread is not None:
+        with self._lock:
+            thread = self._thread
+            self._thread = None
+            forked = self._forked()
+            self._pid = None
+        if thread is not None and not forked:
             self._stop.set()
             thread.join(timeout=5.0)
 
@@ -94,7 +118,10 @@ class SamplingProfiler:
 
     @property
     def running(self) -> bool:
-        return self._thread is not None
+        """True while this process's own sampler thread is running
+        (False in a forked child that merely inherited the handle)."""
+        with self._lock:
+            return self._thread is not None and not self._forked()
 
     # -- sampling -----------------------------------------------------------
 
@@ -122,8 +149,12 @@ class SamplingProfiler:
                         stack = [
                             self.span_prefix + name for name in spans
                         ] + stack
-                self._stacks[tuple(stack)] += 1
-                self.n_samples += 1
+                # Taken after the tracer lock is released: the sampler
+                # lock stays a leaf in the lock-order graph.
+                with self._lock:
+                    site_access("SamplingProfiler._stacks")
+                    self._stacks[tuple(stack)] += 1
+                    self.n_samples += 1
         finally:
             del frames  # frame objects pin locals; drop them promptly
 
@@ -131,7 +162,9 @@ class SamplingProfiler:
 
     def stacks(self) -> Dict[Tuple[str, ...], int]:
         """Snapshot of the collapsed-stack counter."""
-        return dict(self._stacks)
+        with self._lock:
+            site_access("SamplingProfiler._stacks", write=False)
+            return dict(self._stacks)
 
     def collapsed(self) -> List[str]:
         """Collapsed-stack lines (``frame;frame;... count``), sorted by
@@ -140,7 +173,7 @@ class SamplingProfiler:
         return [
             "%s %d" % (";".join(stack), count)
             for stack, count in sorted(
-                self._stacks.items(), key=lambda kv: (-kv[1], kv[0])
+                self.stacks().items(), key=lambda kv: (-kv[1], kv[0])
             )
         ]
 
@@ -154,7 +187,7 @@ class SamplingProfiler:
         """The ``top`` most-sampled leaf frames (inclusive of span
         prefixes is wrong for leaves, so prefixes are skipped)."""
         leaves: Counter = Counter()
-        for stack, count in self._stacks.items():
+        for stack, count in self.stacks().items():
             if stack:
                 leaves[stack[-1]] += count
         return leaves.most_common(top)
@@ -162,7 +195,7 @@ class SamplingProfiler:
     def by_span(self) -> Dict[str, int]:
         """Samples grouped by innermost attributed span (stage)."""
         spans: Counter = Counter()
-        for stack, count in self._stacks.items():
+        for stack, count in self.stacks().items():
             innermost = None
             for frame in stack:
                 if frame.startswith(self.span_prefix):

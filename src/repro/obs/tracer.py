@@ -32,6 +32,8 @@ import threading
 import time
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
+from repro.concheck.runtime import make_lock, site_access
+
 #: Per-process span id source; combined with ``pid`` ids are globally
 #: unique, and 0 is reserved for "no parent".
 _IDS = itertools.count(1)
@@ -66,15 +68,20 @@ class _SpanHandle:
         self.args = args
 
     def __enter__(self) -> "_SpanHandle":
-        stack = self.tracer._stack()
+        tracer = self.tracer
+        stack = tracer._stack()
         self.parent_id = stack[-1] if stack else 0
         self.span_id = next(_IDS)
         stack.append(self.span_id)
         # Cross-thread view of open span names (keyed by thread ident)
         # so the sampling profiler can attribute a sampled stack to the
-        # pipeline stage the sampled thread is currently inside.
-        names = self.tracer._open_names
-        names.setdefault(threading.get_ident(), []).append(self.name)
+        # pipeline stage the sampled thread is currently inside.  The
+        # sampler reads this map from its own thread, so every mutation
+        # happens under the tracer lock.
+        with tracer._lock:
+            site_access("Tracer._open_names")
+            names = tracer._open_names
+            names.setdefault(threading.get_ident(), []).append(self.name)
         self._start = time.perf_counter()
         return self
 
@@ -85,11 +92,6 @@ class _SpanHandle:
         if stack and stack[-1] == self.span_id:
             stack.pop()
         tid = threading.get_ident()
-        open_names = tracer._open_names.get(tid)
-        if open_names:
-            open_names.pop()
-            if not open_names:
-                tracer._open_names.pop(tid, None)
         record: Dict[str, Any] = {
             "id": self.span_id,
             "parent": self.parent_id,
@@ -105,6 +107,13 @@ class _SpanHandle:
         if exc_type is not None:
             record["error"] = exc_type.__name__
         with tracer._lock:
+            site_access("Tracer._open_names")
+            open_names = tracer._open_names.get(tid)
+            if open_names:
+                open_names.pop()
+                if not open_names:
+                    tracer._open_names.pop(tid, None)
+            site_access("Tracer._spans")
             tracer._spans.append(record)
         return False
 
@@ -116,7 +125,7 @@ class Tracer:
         self.enabled = enabled
         #: perf_counter value mapped to ts=0; shared across processes.
         self.epoch = time.perf_counter()
-        self._lock = threading.Lock()
+        self._lock = make_lock("Tracer._lock")
         self._local = threading.local()
         self._spans: List[Dict[str, Any]] = []
         #: thread ident → names of that thread's currently-open spans
@@ -150,6 +159,7 @@ class Tracer:
         if args:
             record["args"] = dict(args)
         with self._lock:
+            site_access("Tracer._spans")
             self._spans.append(record)
 
     def _stack(self) -> List[int]:
@@ -164,34 +174,41 @@ class Tracer:
 
         Safe to call from *another* thread — this is how the sampling
         profiler maps a sampled stack to the pipeline stage that thread
-        is executing.  The view is a snapshot and may trail the sampled
-        thread by an in-flight span push/pop.
+        is executing.  The copy is taken under the tracer lock, so the
+        view is a consistent snapshot (it may still trail the sampled
+        thread by an in-flight span push/pop).
         """
         if tid is None:
             tid = threading.get_ident()
-        return tuple(self._open_names.get(tid, ()))
+        with self._lock:
+            site_access("Tracer._open_names", write=False)
+            return tuple(self._open_names.get(tid, ()))
 
     # -- collection ---------------------------------------------------------
 
     @property
     def n_spans(self) -> int:
         with self._lock:
+            site_access("Tracer._spans", write=False)
             return len(self._spans)
 
     def spans(self) -> List[Dict[str, Any]]:
         """Snapshot of all finished spans (oldest first)."""
         with self._lock:
+            site_access("Tracer._spans", write=False)
             return list(self._spans)
 
     def drain(self) -> List[Dict[str, Any]]:
         """Remove and return all finished spans (worker → parent hop)."""
         with self._lock:
+            site_access("Tracer._spans")
             spans, self._spans = self._spans, []
         return spans
 
     def merge(self, spans: Iterable[Dict[str, Any]]) -> None:
         """Fold spans drained from another tracer (e.g. a pool worker)."""
         with self._lock:
+            site_access("Tracer._spans")
             self._spans.extend(spans)
 
     # -- export -------------------------------------------------------------
@@ -215,7 +232,7 @@ class Tracer:
     def __setstate__(self, state: Dict[str, Any]) -> None:
         self.enabled = state["enabled"]
         self.epoch = state["epoch"]
-        self._lock = threading.Lock()
+        self._lock = make_lock("Tracer._lock")
         self._local = threading.local()
         self._spans = []
         self._open_names = {}

@@ -185,20 +185,31 @@ class Pipeline:
 
     # -- plumbing -----------------------------------------------------------
 
+    # ``counters``/``hits``/``timings`` are read-only *snapshots*: each
+    # access builds a fresh Counter from the metrics registry (the item
+    # list is copied under the registry lock, counter values are single
+    # atomic attribute reads).  Mutating the returned object affects
+    # nothing, and concurrent scrapes/increments can never tear it —
+    # see docs/concurrency.md.
+
     @property
     def counters(self) -> Counter:
-        """Real stage executions (store misses), keyed by stage name."""
+        """Real stage executions (store misses), keyed by stage name.
+
+        A point-in-time snapshot; safe to read while workers run.
+        """
         return self.metrics.labeled_values("pipeline.stage_executions",
                                            "stage")
 
     @property
     def hits(self) -> Counter:
-        """Store hits, keyed by stage name."""
+        """Store hits, keyed by stage name (point-in-time snapshot)."""
         return self.metrics.labeled_values("pipeline.stage_hits", "stage")
 
     @property
     def timings(self) -> Dict[str, float]:
-        """Cumulative compute seconds per stage (misses only)."""
+        """Cumulative compute seconds per stage, misses only
+        (point-in-time snapshot)."""
         return defaultdict(
             float,
             self.metrics.labeled_values("pipeline.stage_seconds", "stage"),
